@@ -1,0 +1,272 @@
+// Package repro's benchmark harness: one benchmark per paper artifact
+// (E1, E2, E3, F1) and per ablation (A1–A5), plus substrate microbenches
+// (link grammar parsing, ontology lookup via B-tree index vs linear
+// scan). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the relevant quality metric through b.ReportMetric
+// so a single run regenerates the numbers EXPERIMENTS.md records.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/linkgram"
+	"repro/internal/ontology"
+	"repro/internal/records"
+	"repro/internal/store"
+	"repro/internal/textproc"
+)
+
+func corpus(b *testing.B, diversity float64) []records.Record {
+	b.Helper()
+	opts := records.DefaultGenOptions()
+	opts.StyleDiversity = diversity
+	return records.Generate(opts)
+}
+
+// BenchmarkE1NumericExtraction regenerates the §5 numeric result: all
+// eight attributes at 100% precision/recall on the canonical corpus.
+func BenchmarkE1NumericExtraction(b *testing.B) {
+	recs := corpus(b, 0)
+	var res eval.E1Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunE1(recs, core.LinkGrammar)
+	}
+	b.ReportMetric(100*res.Overall.Precision(), "precision_%")
+	b.ReportMetric(100*res.Overall.Recall(), "recall_%")
+}
+
+// BenchmarkE2TermExtraction regenerates Table 1 (paper regime: synonym
+// resolution off).
+func BenchmarkE2TermExtraction(b *testing.B) {
+	recs := corpus(b, 0)
+	ont := ontology.MustNew(ontology.Options{})
+	defer ont.Close()
+	var res eval.E2Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunE2(recs, ont, false)
+	}
+	b.ReportMetric(100*res.PreMedical.Precision(), "preMed_P_%")
+	b.ReportMetric(100*res.PreMedical.Recall(), "preMed_R_%")
+	b.ReportMetric(100*res.PreSurgical.Recall(), "preSurg_R_%")
+	b.ReportMetric(100*res.OtherSurgical.Precision(), "otherSurg_P_%")
+}
+
+// BenchmarkE3SmokingCV regenerates the smoking cross-validation (92.2%
+// in the paper).
+func BenchmarkE3SmokingCV(b *testing.B) {
+	recs := corpus(b, 0)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = eval.RunE3(recs, 2005).Accuracy
+	}
+	b.ReportMetric(100*acc, "accuracy_%")
+}
+
+// BenchmarkF1LinkageDiagram parses and renders the Figure 1 sentence.
+func BenchmarkF1LinkageDiagram(b *testing.B) {
+	sent := textproc.SplitSentences("Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.")[0]
+	for i := 0; i < b.N; i++ {
+		lk, err := linkgram.ParseSentence(sent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lk.Diagram() == "" {
+			b.Fatal("empty diagram")
+		}
+	}
+}
+
+// BenchmarkA1Association compares association strategies on the diverse
+// corpus; link grammar should lead on recall.
+func BenchmarkA1Association(b *testing.B) {
+	recs := corpus(b, 0.8)
+	var res eval.A1Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunA1(recs)
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(100*row.Overall.Recall(), string(rune('0'+int(row.Strategy)))+"_"+row.Strategy.String()+"_R_%")
+	}
+}
+
+// BenchmarkA2FeatureOptions sweeps the §3.3 ID3 options.
+func BenchmarkA2FeatureOptions(b *testing.B) {
+	recs := corpus(b, 0)
+	var res eval.A2Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunA2(recs, 2005)
+	}
+	b.ReportMetric(100*res.Rows[0].Accuracy, "paperConfig_%")
+	b.ReportMetric(100*res.Rows[3].Accuracy, "verbsOnly_%")
+}
+
+// BenchmarkA3AlcoholNumeric measures the paper's proposed numeric
+// Boolean features.
+func BenchmarkA3AlcoholNumeric(b *testing.B) {
+	recs := corpus(b, 0)
+	var res eval.A3Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunA3(recs, 2005)
+	}
+	b.ReportMetric(100*res.Plain, "wordsOnly_%")
+	b.ReportMetric(100*res.Numeric, "withNumeric_%")
+}
+
+// BenchmarkA4OntologyCoverage sweeps ontology completeness.
+func BenchmarkA4OntologyCoverage(b *testing.B) {
+	recs := corpus(b, 0)
+	var res eval.A4Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunA4(recs, []float64{0.5, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Rows[0].Medical.Recall(), "cov50_medR_%")
+	b.ReportMetric(100*res.Rows[1].Medical.Recall(), "cov100_medR_%")
+}
+
+// BenchmarkA5StyleDiversity sweeps writing-style diversity.
+func BenchmarkA5StyleDiversity(b *testing.B) {
+	var res eval.A5Result
+	for i := 0; i < b.N; i++ {
+		res = eval.RunA5([]float64{0, 0.8}, 50, 2005)
+	}
+	b.ReportMetric(100*res.Rows[0].NumericR, "div0_numR_%")
+	b.ReportMetric(100*res.Rows[1].NumericR, "div80_numR_%")
+}
+
+// BenchmarkE4BinaryFields cross-validates the categorical fields the
+// paper left unfinished.
+func BenchmarkE4BinaryFields(b *testing.B) {
+	recs := corpus(b, 0)
+	var res eval.E4Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunE4(recs, 2005)
+	}
+	for _, row := range res.Rows {
+		switch row.Attr {
+		case "family breast cancer":
+			b.ReportMetric(100*row.Accuracy, "familyBC_acc_%")
+		case "drug use":
+			b.ReportMetric(100*row.Accuracy, "drugUse_acc_%")
+		}
+	}
+}
+
+// BenchmarkA6SplitCriterion compares ID3 and Gini splits on the smoking
+// task (paper claim: ID3 uses fewer features).
+func BenchmarkA6SplitCriterion(b *testing.B) {
+	recs := corpus(b, 0)
+	var res eval.A6Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunA6(recs, 2005)
+	}
+	b.ReportMetric(float64(res.ID3.MaxFeatures), "id3_maxFeat")
+	b.ReportMetric(float64(res.Gini.MaxFeatures), "gini_maxFeat")
+}
+
+// BenchmarkA7NegationFilter measures the negation-filter extension.
+func BenchmarkA7NegationFilter(b *testing.B) {
+	recs := corpus(b, 0)
+	ont := ontology.MustNew(ontology.Options{})
+	defer ont.Close()
+	var res eval.A7Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = eval.RunA7(recs, ont)
+	}
+	b.ReportMetric(100*res.Baseline.OtherMedical.Precision(), "baseline_P_%")
+	b.ReportMetric(100*res.Filtered.OtherMedical.Precision(), "filtered_P_%")
+}
+
+// BenchmarkLinkParse measures raw parser throughput on record sentences.
+func BenchmarkLinkParse(b *testing.B) {
+	recs := corpus(b, 0)
+	var sents []textproc.Sentence
+	for _, r := range recs[:10] {
+		secs := textproc.SplitSections(r.Text)
+		if sec, ok := textproc.FindSection(secs, "Vitals"); ok {
+			sents = append(sents, textproc.SplitSentences(sec.Body)...)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linkgram.ParseSentence(sents[i%len(sents)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOntologyLookupIndexed probes the B-tree secondary index.
+func BenchmarkOntologyLookupIndexed(b *testing.B) {
+	ont := ontology.MustNew(ontology.Options{})
+	defer ont.Close()
+	terms := []string{"diabetes", "gallbladder removal", "high blood pressure", "not a concept"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ont.Lookup(terms[i%len(terms)])
+	}
+}
+
+// BenchmarkOntologyLookupScan is the linear-scan ablation baseline for
+// the same probes.
+func BenchmarkOntologyLookupScan(b *testing.B) {
+	ont := ontology.MustNew(ontology.Options{})
+	defer ont.Close()
+	terms := []string{"diabetes", "gallbladder removal", "high blood pressure", "not a concept"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ont.LookupLinear(terms[i%len(terms)])
+	}
+}
+
+// BenchmarkStoreInsert measures WAL-backed inserts.
+func BenchmarkStoreInsert(b *testing.B) {
+	db := store.OpenMemory()
+	tbl, err := db.CreateTable(store.Schema{
+		Name: "bench",
+		Columns: []store.Column{
+			{Name: "id", Type: store.TInt},
+			{Name: "payload", Type: store.TString},
+		},
+		Primary: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Insert(store.Row{store.Int(int64(i)), store.Str("extracted value")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineProcess measures end-to-end per-record latency.
+func BenchmarkPipelineProcess(b *testing.B) {
+	recs := corpus(b, 0)
+	sys, err := core.NewSystem(core.Config{Strategy: core.LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Process(recs[i%len(recs)].Text)
+	}
+}

@@ -1,0 +1,127 @@
+// Command medex runs the full extraction pipeline over a corpus
+// directory (as produced by gencorpus) and persists structured results to
+// an embedded database, printing a per-record summary.
+//
+// Usage:
+//
+//	medex -corpus corpus/ [-db extracted.db] [-strategy link-grammar]
+//	      [-synonyms] [-train-smoking]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/records"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("medex: ")
+
+	corpusDir := flag.String("corpus", "corpus", "corpus directory with gold.json")
+	dbPath := flag.String("db", "", "embedded database file for extracted information (empty = in-memory)")
+	strategyName := flag.String("strategy", "link-grammar", "number association strategy: link-grammar | pattern-only | proximity-only")
+	synonyms := flag.Bool("synonyms", true, "resolve synonyms when assigning predefined terms")
+	trainSmoking := flag.Bool("train-smoking", true, "train the smoking classifier on the corpus gold labels")
+	verbose := flag.Bool("v", false, "print every extracted attribute")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	strategy, err := parseStrategy(*strategyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := records.ReadCorpus(*corpusDir)
+	if err != nil {
+		log.Fatalf("reading corpus: %v (run gencorpus first)", err)
+	}
+
+	sys, err := core.NewSystem(core.Config{Strategy: strategy, ResolveSynonyms: *synonyms})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *trainSmoking {
+		sys.TrainSmoking(recs)
+	}
+
+	var db *store.DB
+	if *dbPath != "" {
+		db, err = store.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+	} else {
+		db = store.OpenMemory()
+	}
+
+	rows := 0
+	for i, ex := range sys.ProcessAll(recs, *workers) {
+		n, err := core.Persist(db, ex)
+		if err != nil {
+			log.Fatalf("record %d: %v", recs[i].ID, err)
+		}
+		rows += n
+		if *verbose {
+			printExtraction(ex)
+		}
+	}
+	fmt.Printf("processed %d records, persisted %d attribute rows", len(recs), rows)
+	if *dbPath != "" {
+		fmt.Printf(" to %s", *dbPath)
+	}
+	fmt.Println()
+}
+
+func parseStrategy(name string) (core.Strategy, error) {
+	switch name {
+	case "link-grammar":
+		return core.LinkGrammar, nil
+	case "pattern-only":
+		return core.PatternOnly, nil
+	case "proximity-only":
+		return core.ProximityOnly, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", name)
+}
+
+func printExtraction(ex core.Extraction) {
+	fmt.Printf("patient %d\n", ex.Patient)
+	attrs := make([]string, 0, len(ex.Numeric))
+	for a := range ex.Numeric {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		v := ex.Numeric[a]
+		if v.Ratio {
+			fmt.Printf("  %-22s %g/%g\n", a, v.Value, v.Value2)
+		} else {
+			fmt.Printf("  %-22s %g\n", a, v.Value)
+		}
+	}
+	if len(ex.PreMedical) > 0 {
+		fmt.Printf("  %-22s %s\n", "pre medical", strings.Join(ex.PreMedical, "; "))
+	}
+	if len(ex.OtherMedical) > 0 {
+		fmt.Printf("  %-22s %s\n", "other medical", strings.Join(ex.OtherMedical, "; "))
+	}
+	if len(ex.PreSurgical) > 0 {
+		fmt.Printf("  %-22s %s\n", "pre surgical", strings.Join(ex.PreSurgical, "; "))
+	}
+	if len(ex.OtherSurgical) > 0 {
+		fmt.Printf("  %-22s %s\n", "other surgical", strings.Join(ex.OtherSurgical, "; "))
+	}
+	if len(ex.Medications) > 0 {
+		fmt.Printf("  %-22s %s\n", "medications", strings.Join(ex.Medications, "; "))
+	}
+	if ex.Smoking != "" {
+		fmt.Printf("  %-22s %s\n", "smoking", ex.Smoking)
+	}
+}

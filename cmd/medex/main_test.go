@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"link-grammar":   core.LinkGrammar,
+		"pattern-only":   core.PatternOnly,
+		"proximity-only": core.ProximityOnly,
+	}
+	for name, want := range cases {
+		got, err := parseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestPrintExtractionDoesNotPanic(t *testing.T) {
+	printExtraction(core.Extraction{
+		Patient: 1,
+		Numeric: map[string]core.NumericValue{
+			"pulse":          {Attr: "pulse", Value: 84},
+			"blood pressure": {Attr: "blood pressure", Value: 144, Value2: 90, Ratio: true},
+		},
+		PreMedical: []string{"diabetes"},
+		Smoking:    "never",
+	})
+}

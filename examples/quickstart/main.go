@@ -1,0 +1,60 @@
+// Quickstart: extract structured information from a single clinical
+// consultation note with the full pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/records"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A consultation note in the paper's appendix format.
+	note := `Patient:  2
+Chief Complaint:  Abnormal mammogram.
+History of Present Illness:  Ms. 2 is a 50-year-old woman who underwent a screening mammogram, revealing a solid lesion.  She was referred for further management.
+GYN History:  Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.  First live birth at age 18.
+Past Medical History:  Significant for diabetes, heart disease, high blood pressure, hypercholesterolemia, bronchitis, arrhythmia, and depression.
+Past Surgical History:  Cervical laminectomy.
+Medications:  Aspirin, hydrochlorothiazide, Lipitor, Cardizem, and Zoloft.
+Allergies:  Penicillin, ACE inhibitors, and latex.
+Social History:  Smoking history, 15 years.  Alcohol use, occasional.
+Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211.
+`
+
+	sys, err := core.NewSystem(core.Config{Strategy: core.LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Train the smoking classifier on the synthetic corpus so Process can
+	// also label the categorical field.
+	sys.TrainSmoking(records.Generate(records.DefaultGenOptions()))
+
+	ex := sys.Process(note)
+
+	fmt.Printf("patient %d\n\n", ex.Patient)
+	fmt.Println("numeric fields (link grammar association):")
+	for _, attr := range records.NumericAttrs {
+		v, ok := ex.Numeric[attr]
+		if !ok {
+			continue
+		}
+		if v.Ratio {
+			fmt.Printf("  %-22s %g/%g\n", attr, v.Value, v.Value2)
+		} else {
+			fmt.Printf("  %-22s %g\n", attr, v.Value)
+		}
+	}
+	fmt.Println("\nmedical terms (POS patterns + ontology):")
+	fmt.Printf("  predefined medical:  %v\n", ex.PreMedical)
+	fmt.Printf("  other medical:       %v\n", ex.OtherMedical)
+	fmt.Printf("  predefined surgical: %v\n", ex.PreSurgical)
+	fmt.Printf("  other surgical:      %v\n", ex.OtherSurgical)
+	fmt.Printf("  medications:         %v\n", ex.Medications)
+	fmt.Println("\ncategorical (ID3):")
+	fmt.Printf("  smoking: %s\n", ex.Smoking)
+}

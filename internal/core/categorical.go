@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/id3"
+	"repro/internal/records"
+	"repro/internal/textproc"
+)
+
+// CategoricalField specifies one categorical attribute: where its
+// evidence lives and how features are extracted.
+type CategoricalField struct {
+	Attr    string
+	Section string
+	Options id3.FeatureOptions
+	// Gold selects the gold label from a record ("" = not present; such
+	// records are excluded, as the paper excludes the five subjects
+	// without smoking information).
+	Gold func(records.Gold) string
+}
+
+// SmokingField is the paper's evaluated categorical attribute with its
+// reported option settings: all parts of speech, any constituent,
+// head-only off, lemma on.
+func SmokingField() CategoricalField {
+	return CategoricalField{
+		Attr:    "smoking",
+		Section: "Social History",
+		Options: id3.DefaultOptions(),
+		Gold:    func(g records.Gold) string { return g.Smoking },
+	}
+}
+
+// AlcoholField is the paper's proposed extension: alcohol use with
+// numeric Boolean threshold features at the manually specified threshold
+// of 2 days per week.
+func AlcoholField(numericFeatures bool) CategoricalField {
+	opts := id3.DefaultOptions()
+	if numericFeatures {
+		opts.NumericThresholds = []float64{2}
+	}
+	return CategoricalField{
+		Attr:    "alcohol",
+		Section: "Social History",
+		Options: opts,
+		Gold:    func(g records.Gold) string { return g.Alcohol },
+	}
+}
+
+// FamilyBCField is one of the paper's unfinished binary categorical
+// attributes: family history of breast cancer, positive or negative.
+func FamilyBCField() CategoricalField {
+	return CategoricalField{
+		Attr:    "family breast cancer",
+		Section: "Family History",
+		Options: id3.DefaultOptions(),
+		Gold:    func(g records.Gold) string { return g.FamilyBC },
+	}
+}
+
+// DrugUseField is a second binary attribute: recreational drug use.
+func DrugUseField() CategoricalField {
+	return CategoricalField{
+		Attr:    "drug use",
+		Section: "Social History",
+		Options: id3.DefaultOptions(),
+		Gold:    func(g records.Gold) string { return g.DrugUse },
+	}
+}
+
+// ShapeField classifies patient shape from the physical examination.
+func ShapeField() CategoricalField {
+	return CategoricalField{
+		Attr:    "shape",
+		Section: "Physical examination",
+		Options: id3.DefaultOptions(),
+		Gold:    func(g records.Gold) string { return g.Shape },
+	}
+}
+
+// FieldText returns the text the field's features are extracted from.
+func (f CategoricalField) FieldText(recordText string) string {
+	secs := textproc.SplitSections(recordText)
+	sec, ok := textproc.FindSection(secs, f.Section)
+	if !ok {
+		return ""
+	}
+	return sec.Body
+}
+
+// Examples converts labeled records into ID3 training examples, skipping
+// records whose gold label is absent.
+func (f CategoricalField) Examples(recs []records.Record) []id3.Example {
+	var out []id3.Example
+	for _, r := range recs {
+		label := f.Gold(r.Gold)
+		if label == "" {
+			continue
+		}
+		out = append(out, id3.Example{
+			Features: id3.ExtractFeatures(f.FieldText(r.Text), f.Options),
+			Class:    label,
+		})
+	}
+	return out
+}
+
+// CategoricalClassifier is a trained classifier for one field.
+type CategoricalClassifier struct {
+	Field CategoricalField
+	Tree  *id3.Tree
+}
+
+// TrainCategorical trains an ID3 classifier for the field on labeled
+// records.
+func TrainCategorical(f CategoricalField, recs []records.Record) *CategoricalClassifier {
+	return &CategoricalClassifier{Field: f, Tree: id3.Train(f.Examples(recs))}
+}
+
+// Classify labels one record's text.
+func (c *CategoricalClassifier) Classify(recordText string) string {
+	feats := id3.ExtractFeatures(c.Field.FieldText(recordText), c.Field.Options)
+	return c.Tree.Classify(feats)
+}
+
+// CrossValidate runs the paper's protocol on the field: k-fold CV
+// repeated `rounds` times with shuffles.
+func (f CategoricalField) CrossValidate(recs []records.Record, k, rounds int, seed int64) id3.CVResult {
+	return id3.CrossValidate(f.Examples(recs), k, rounds, seed)
+}

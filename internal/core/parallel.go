@@ -1,0 +1,45 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/records"
+)
+
+// ProcessAll runs the pipeline over a corpus with a bounded worker pool
+// and returns the extractions in corpus order. The extractors are
+// stateless after construction (the ID3 tree is read-only once trained),
+// so workers share the System.
+func (s *System) ProcessAll(recs []records.Record, workers int) []Extraction {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(recs) {
+		workers = len(recs)
+	}
+	out := make([]Extraction, len(recs))
+	if workers <= 1 {
+		for i, r := range recs {
+			out[i] = s.Process(r.Text)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = s.Process(recs[i].Text)
+			}
+		}()
+	}
+	for i := range recs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

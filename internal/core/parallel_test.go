@@ -1,0 +1,46 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/records"
+)
+
+func TestProcessAllMatchesSequential(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 12, Seed: 3})
+	sys, err := NewSystem(Config{Strategy: LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.TrainSmoking(recs)
+
+	seq := sys.ProcessAll(recs, 1)
+	par := sys.ProcessAll(recs, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("record %d differs:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestProcessAllWorkerClamp(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 2, Seed: 3})
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More workers than records and zero workers must both behave.
+	if got := sys.ProcessAll(recs, 16); len(got) != 2 {
+		t.Errorf("len = %d", len(got))
+	}
+	if got := sys.ProcessAll(recs, 0); len(got) != 2 {
+		t.Errorf("len = %d", len(got))
+	}
+	if got := sys.ProcessAll(nil, 4); len(got) != 0 {
+		t.Errorf("nil corpus → %d", len(got))
+	}
+}

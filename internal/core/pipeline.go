@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/records"
+	"repro/internal/store"
+	"repro/internal/textproc"
+)
+
+// System is the assembled extraction pipeline of Figure 2: tokenization
+// and sectioning (textproc, standing in for GATE), the link grammar
+// parser, the lexicon (WordNet), the ontology (UMLS in DB2), and the ID3
+// classifier, producing structured records persisted to an embedded
+// store (Access).
+type System struct {
+	Numeric *NumericExtractor
+	Terms   *TermExtractor
+	Smoking *CategoricalClassifier // nil until trained
+}
+
+// Config selects system variants for the experiments.
+type Config struct {
+	Strategy        Strategy // numeric association strategy
+	ResolveSynonyms bool     // predefined-term synonym resolution (§5 improvement)
+	Ontology        *ontology.Ontology
+}
+
+// NewSystem assembles a pipeline. A nil ontology loads the full embedded
+// vocabulary.
+func NewSystem(cfg Config) (*System, error) {
+	ont := cfg.Ontology
+	if ont == nil {
+		var err error
+		ont, err = ontology.New(ontology.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		Numeric: NewNumericExtractor(cfg.Strategy),
+		Terms:   &TermExtractor{Ont: ont, ResolveSynonyms: cfg.ResolveSynonyms},
+	}, nil
+}
+
+// Extraction is the structured output for one record.
+type Extraction struct {
+	Patient       int
+	Numeric       map[string]NumericValue
+	PreMedical    []string // predefined past medical history
+	OtherMedical  []string
+	PreSurgical   []string // predefined past surgical history
+	OtherSurgical []string
+	Medications   []string
+	Smoking       string
+}
+
+// Process extracts all attributes from one record text.
+func (s *System) Process(recordText string) Extraction {
+	ex := Extraction{Numeric: s.Numeric.Extract(recordText)}
+	secs := textproc.SplitSections(recordText)
+	if sec, ok := textproc.FindSection(secs, "Patient"); ok {
+		fmt.Sscanf(strings.TrimSpace(sec.Body), "%d", &ex.Patient)
+	}
+	if sec, ok := textproc.FindSection(secs, "Past Medical History"); ok {
+		terms := s.Terms.Extract(sec.Body, ontology.PredefinedMedical)
+		ex.PreMedical, ex.OtherMedical = SplitTerms(terms)
+	}
+	if sec, ok := textproc.FindSection(secs, "Past Surgical History"); ok {
+		terms := s.Terms.Extract(sec.Body, ontology.PredefinedSurgical)
+		ex.PreSurgical, ex.OtherSurgical = SplitTerms(terms)
+	}
+	if sec, ok := textproc.FindSection(secs, "Medications"); ok {
+		for _, t := range s.Terms.Extract(sec.Body, nil) {
+			if t.Concept.Type == ontology.Medication {
+				ex.Medications = append(ex.Medications, t.Concept.Preferred)
+			}
+		}
+	}
+	if s.Smoking != nil {
+		ex.Smoking = s.Smoking.Classify(recordText)
+	}
+	return ex
+}
+
+// TrainSmoking fits the smoking classifier on labeled records; subsequent
+// Process calls fill Extraction.Smoking.
+func (s *System) TrainSmoking(recs []records.Record) {
+	s.Smoking = TrainCategorical(SmokingField(), recs)
+}
+
+// resultSchema is the persisted extracted-information table: one row per
+// (patient, attribute, value), the paper's Access database.
+func resultSchema() store.Schema {
+	return store.Schema{
+		Name: "extracted",
+		Columns: []store.Column{
+			{Name: "id", Type: store.TInt},
+			{Name: "patient", Type: store.TInt},
+			{Name: "attribute", Type: store.TString},
+			{Name: "value", Type: store.TString},
+			{Name: "numeric", Type: store.TFloat},
+		},
+		Primary: 0,
+	}
+}
+
+// Persist writes an extraction into the database, one row per attribute
+// value, and returns the number of rows written.
+func Persist(db *store.DB, ex Extraction) (int, error) {
+	tbl, err := db.CreateTable(resultSchema())
+	if err != nil {
+		return 0, err
+	}
+	next := int64(tbl.Len()) + 1
+	n := 0
+	put := func(attr, val string, num float64) error {
+		row := store.Row{
+			store.Int(next), store.Int(int64(ex.Patient)),
+			store.Str(attr), store.Str(val), store.Float(num),
+		}
+		if err := tbl.Insert(row); err != nil {
+			return err
+		}
+		next++
+		n++
+		return nil
+	}
+	for attr, v := range ex.Numeric {
+		val := fmt.Sprintf("%g", v.Value)
+		if v.Ratio {
+			val = fmt.Sprintf("%g/%g", v.Value, v.Value2)
+		}
+		if err := put(attr, val, v.Value); err != nil {
+			return n, err
+		}
+	}
+	lists := []struct {
+		attr  string
+		terms []string
+	}{
+		{"predefined past medical history", ex.PreMedical},
+		{"other past medical history", ex.OtherMedical},
+		{"predefined past surgical history", ex.PreSurgical},
+		{"other past surgical history", ex.OtherSurgical},
+		{"medications", ex.Medications},
+	}
+	for _, l := range lists {
+		for _, t := range l.terms {
+			if err := put(l.attr, t, 0); err != nil {
+				return n, err
+			}
+		}
+	}
+	if ex.Smoking != "" {
+		if err := put("smoking", ex.Smoking, 0); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

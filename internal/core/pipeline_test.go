@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/records"
+	"repro/internal/store"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	recs := records.Generate(records.DefaultGenOptions())
+	sys, err := NewSystem(Config{Strategy: LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.TrainSmoking(recs)
+
+	r := recs[0]
+	ex := sys.Process(r.Text)
+	if ex.Patient != r.ID {
+		t.Errorf("patient id = %d, want %d", ex.Patient, r.ID)
+	}
+	if len(ex.Numeric) < 7 {
+		t.Errorf("numeric attributes extracted = %d, want ≥7", len(ex.Numeric))
+	}
+	if len(ex.PreMedical)+len(ex.OtherMedical) == 0 {
+		t.Error("no medical history extracted")
+	}
+	if r.Gold.Smoking != "" && ex.Smoking == "" {
+		t.Error("smoking not classified")
+	}
+}
+
+func TestPersistExtraction(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 3, Seed: 7})
+	sys, err := NewSystem(Config{Strategy: LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.OpenMemory()
+	total := 0
+	for _, r := range recs {
+		n, err := Persist(db, sys.Process(r.Text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	tbl, err := db.Table("extracted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != total || total == 0 {
+		t.Fatalf("persisted %d rows, table has %d", total, tbl.Len())
+	}
+	// Every row belongs to one of the three patients.
+	tbl.Scan(func(row store.Row) bool {
+		p := row[1].I
+		if p < 1 || p > 3 {
+			t.Errorf("row with patient %d", p)
+		}
+		return true
+	})
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Terms.Ont == nil {
+		t.Error("default ontology not loaded")
+	}
+	ex := sys.Process("Vitals:  Pulse of 80.\n")
+	if ex.Numeric[records.AttrPulse].Value != 80 {
+		t.Errorf("pulse = %v", ex.Numeric[records.AttrPulse])
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/lexicon"
+	"repro/internal/ontology"
+	"repro/internal/pos"
+	"repro/internal/textproc"
+)
+
+// TermExtractor extracts multi-word medical terms from history sections
+// using the paper's §3.2 method: POS-tag each sentence, propose candidate
+// spans with the ordered patterns JJ NN NN / NN NN / JJ NN / NN,
+// normalize, and accept candidates found in the ontology.
+type TermExtractor struct {
+	Ont *ontology.Ontology
+	// ResolveSynonyms controls predefined-attribute assignment: when
+	// true, any surface form of a predefined concept counts as
+	// predefined; when false (the paper's evaluated configuration — "this
+	// problem can be solved by introducing synonyms"), only surfaces that
+	// normalize to the predefined name itself do.
+	ResolveSynonyms bool
+	// FilterNegated drops terms inside a negation scope ("No history of
+	// stroke."). The paper's system lacks this, so it defaults off; the
+	// A7 ablation measures the precision it buys.
+	FilterNegated bool
+}
+
+// ExtractedTerm is one ontology-confirmed term.
+type ExtractedTerm struct {
+	Surface    string // the words as they appear in the text
+	Concept    *ontology.Concept
+	Predefined bool
+}
+
+// termPatterns are the paper's ordered POS patterns, longest first so
+// multi-word terms are not fragmented.
+var termPatterns = [][]func(pos.Tag) bool{
+	{isJJ, isNN, isNN},
+	{isNN, isNN},
+	{isJJ, isNN},
+	{isNN},
+}
+
+func isJJ(t pos.Tag) bool { return t.IsAdjective() }
+func isNN(t pos.Tag) bool { return t.IsNoun() }
+
+// Extract finds the medical terms of one section body and classifies each
+// as predefined or other against the given predefined name list.
+func (x *TermExtractor) Extract(body string, predefined []string) []ExtractedTerm {
+	preNorm := map[string]bool{}
+	preCUI := map[string]bool{}
+	for _, p := range predefined {
+		preNorm[lexicon.Normalize(p)] = true
+		if c := x.Ont.Lookup(p); c != nil {
+			preCUI[c.CUI] = true
+		}
+	}
+
+	var out []ExtractedTerm
+	seen := map[string]bool{}
+	for _, sent := range textproc.SplitSentences(body) {
+		tagged := pos.TagSentence(sent)
+		negFrom := 1 << 30
+		if x.FilterNegated {
+			negFrom = negationStart(sent)
+		}
+		i := 0
+		for i < len(tagged) {
+			term, span := x.matchAt(tagged, i)
+			if term == nil {
+				i++
+				continue
+			}
+			if i >= negFrom {
+				i += span
+				continue
+			}
+			norm := lexicon.Normalize(term.Surface)
+			if !seen[norm] {
+				seen[norm] = true
+				if x.ResolveSynonyms {
+					term.Predefined = preCUI[term.Concept.CUI]
+				} else {
+					term.Predefined = preNorm[norm]
+				}
+				out = append(out, *term)
+			}
+			i += span
+		}
+	}
+	return out
+}
+
+// matchAt tries the ordered patterns at token index i; on an ontology
+// hit it returns the term and the token span consumed.
+func (x *TermExtractor) matchAt(tagged []pos.TaggedToken, i int) (*ExtractedTerm, int) {
+	for _, pat := range termPatterns {
+		if i+len(pat) > len(tagged) {
+			continue
+		}
+		words := make([]string, 0, len(pat))
+		ok := true
+		for j, test := range pat {
+			t := tagged[i+j]
+			if t.Kind != textproc.Word || !test(t.Tag) {
+				ok = false
+				break
+			}
+			words = append(words, t.Lower())
+		}
+		if !ok {
+			continue
+		}
+		if c := x.Ont.LookupWords(words); c != nil {
+			surface := ""
+			for j := range words {
+				if j > 0 {
+					surface += " "
+				}
+				surface += tagged[i+j].Text
+			}
+			return &ExtractedTerm{Surface: surface, Concept: c}, len(pat)
+		}
+	}
+	return nil, 0
+}
+
+// SplitTerms partitions extracted terms into predefined and other name
+// lists (the four medical-term attributes of the evaluation). Both are
+// reported by concept preferred name — the CUI the ontology lookup
+// resolved — deduplicated and sorted.
+func SplitTerms(terms []ExtractedTerm) (pre, other []string) {
+	seenPre := map[string]bool{}
+	seenOther := map[string]bool{}
+	for _, t := range terms {
+		name := t.Concept.Preferred
+		if t.Predefined {
+			if !seenPre[name] {
+				seenPre[name] = true
+				pre = append(pre, name)
+			}
+		} else if !seenOther[name] {
+			seenOther[name] = true
+			other = append(other, name)
+		}
+	}
+	sort.Strings(pre)
+	sort.Strings(other)
+	return pre, other
+}

@@ -1,0 +1,148 @@
+// Package eval implements the paper's evaluation measures: per-subject
+// precision/recall for multi-valued medical term attributes, aggregated
+// with the micro-averaged formulas of §5, plus simple accuracy counters
+// for single-valued attributes.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lexicon"
+)
+
+// PR accumulates the paper's micro-averaged precision/recall:
+//
+//	P = Σ ETrue_i / Σ ETotal_i      R = Σ ETrue_i / Σ TInst_i
+//
+// where for subject i, ETrue is the number of extracted true terms,
+// ETotal the number of extracted terms, TInst the number of true terms.
+type PR struct {
+	ETrue  int // Σ extracted true instances
+	ETotal int // Σ extracted instances
+	TInst  int // Σ true instances
+}
+
+// Add accumulates one subject's counts.
+func (p *PR) Add(etrue, etotal, tinst int) {
+	p.ETrue += etrue
+	p.ETotal += etotal
+	p.TInst += tinst
+}
+
+// AddSets accumulates one subject by comparing an extracted term set with
+// the gold term set. Terms match when their normalized forms are equal
+// (the same criterion the extractor itself uses).
+func (p *PR) AddSets(extracted, gold []string) {
+	goldNorm := map[string]bool{}
+	for _, g := range gold {
+		goldNorm[lexicon.Normalize(g)] = true
+	}
+	etrue := 0
+	seen := map[string]bool{}
+	for _, e := range extracted {
+		n := lexicon.Normalize(e)
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if goldNorm[n] {
+			etrue++
+		}
+	}
+	p.Add(etrue, len(seen), len(goldNorm))
+}
+
+// Precision is ΣETrue/ΣETotal; 1 when nothing was extracted and nothing
+// was expected, 0 when extraction happened with no hits.
+func (p PR) Precision() float64 {
+	if p.ETotal == 0 {
+		if p.TInst == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(p.ETrue) / float64(p.ETotal)
+}
+
+// Recall is ΣETrue/ΣTInst; 1 when nothing was expected.
+func (p PR) Recall() float64 {
+	if p.TInst == 0 {
+		return 1
+	}
+	return float64(p.ETrue) / float64(p.TInst)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (p PR) F1() float64 {
+	pr, rc := p.Precision(), p.Recall()
+	if pr+rc == 0 {
+		return 0
+	}
+	return 2 * pr * rc / (pr + rc)
+}
+
+// String renders "P=xx.x% R=yy.y%".
+func (p PR) String() string {
+	return fmt.Sprintf("P=%.1f%% R=%.1f%%", 100*p.Precision(), 100*p.Recall())
+}
+
+// Accuracy counts exact-match outcomes for single-valued attributes
+// (numeric fields are scored per attribute instance: extracted-and-equal
+// counts for both precision and recall, matching the paper's 100% report).
+type Accuracy struct {
+	Correct int
+	Wrong   int // extracted but incorrect
+	Missed  int // present in gold, not extracted
+}
+
+// Add records one instance.
+func (a *Accuracy) Add(extracted bool, correct bool) {
+	switch {
+	case extracted && correct:
+		a.Correct++
+	case extracted:
+		a.Wrong++
+	default:
+		a.Missed++
+	}
+}
+
+// Precision is correct / extracted.
+func (a Accuracy) Precision() float64 {
+	ex := a.Correct + a.Wrong
+	if ex == 0 {
+		return 1
+	}
+	return float64(a.Correct) / float64(ex)
+}
+
+// Recall is correct / total-present.
+func (a Accuracy) Recall() float64 {
+	tot := a.Correct + a.Wrong + a.Missed
+	if tot == 0 {
+		return 1
+	}
+	return float64(a.Correct) / float64(tot)
+}
+
+// String renders the counts and rates.
+func (a Accuracy) String() string {
+	return fmt.Sprintf("P=%.1f%% R=%.1f%% (correct=%d wrong=%d missed=%d)",
+		100*a.Precision(), 100*a.Recall(), a.Correct, a.Wrong, a.Missed)
+}
+
+// Table renders rows of (label, PR) as an aligned text table, the format
+// cmd/evaltab prints for Table 1.
+func Table(title string, rows []struct {
+	Label string
+	PR    PR
+}) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-35s %10s %10s\n", "Attribute Name", "Precision", "Recall")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-35s %9.1f%% %9.1f%%\n", r.Label, 100*r.PR.Precision(), 100*r.PR.Recall())
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRPaperFormulas(t *testing.T) {
+	// Two subjects: (2 true of 3 extracted, 4 gold), (1 of 1, 1 gold).
+	var p PR
+	p.Add(2, 3, 4)
+	p.Add(1, 1, 1)
+	if got := p.Precision(); got != 3.0/4 {
+		t.Errorf("P = %v, want 0.75", got)
+	}
+	if got := p.Recall(); got != 3.0/5 {
+		t.Errorf("R = %v, want 0.6", got)
+	}
+	if p.F1() <= 0 || p.F1() > 1 {
+		t.Errorf("F1 = %v", p.F1())
+	}
+}
+
+func TestPREdgeCases(t *testing.T) {
+	var empty PR
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty PR should be perfect")
+	}
+	var noExtract PR
+	noExtract.Add(0, 0, 3)
+	if noExtract.Precision() != 0 || noExtract.Recall() != 0 {
+		t.Errorf("no-extract: %v", noExtract)
+	}
+	var zeroF1 PR
+	zeroF1.Add(0, 2, 3)
+	if zeroF1.F1() != 0 {
+		t.Error("F1 of zero P and R")
+	}
+}
+
+func TestAddSetsNormalization(t *testing.T) {
+	var p PR
+	// "high blood pressures" and gold "blood high pressure" normalize to
+	// the same key.
+	p.AddSets([]string{"high blood pressures", "diabetes"}, []string{"blood high pressure"})
+	if p.ETrue != 1 || p.ETotal != 2 || p.TInst != 1 {
+		t.Errorf("AddSets counts = %+v", p)
+	}
+	// Duplicate extracted terms collapse.
+	var q PR
+	q.AddSets([]string{"diabetes", "Diabetes"}, []string{"diabetes"})
+	if q.ETotal != 1 || q.ETrue != 1 {
+		t.Errorf("dedup counts = %+v", q)
+	}
+}
+
+// Property: precision and recall are always in [0,1], and ETrue ≤ both
+// totals implies consistency.
+func TestPRQuick(t *testing.T) {
+	f := func(et, etot, tinst uint8) bool {
+		e, o, ti := int(et%10), int(etot%10), int(tinst%10)
+		if e > o {
+			e = o
+		}
+		if e > ti {
+			e = ti // true hits cannot exceed the gold count
+		}
+		var p PR
+		p.Add(e, o, ti)
+		pr, rc := p.Precision(), p.Recall()
+		return pr >= 0 && pr <= 1 && rc >= 0 && rc <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	a.Add(true, true)
+	a.Add(true, false)
+	a.Add(false, false)
+	if a.Precision() != 0.5 {
+		t.Errorf("P = %v", a.Precision())
+	}
+	if a.Recall() != 1.0/3 {
+		t.Errorf("R = %v", a.Recall())
+	}
+	var empty Accuracy
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty accuracy should be perfect")
+	}
+	if !strings.Contains(a.String(), "correct=1") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var p PR
+	p.Add(29, 30, 30)
+	out := Table("Table 1", []struct {
+		Label string
+		PR    PR
+	}{{"Predefined Past Medical History", p}})
+	if !strings.Contains(out, "Predefined Past Medical History") || !strings.Contains(out, "96.7%") {
+		t.Errorf("table = %q", out)
+	}
+}
+
+func TestPRString(t *testing.T) {
+	var p PR
+	p.Add(1, 2, 4)
+	s := p.String()
+	if !strings.Contains(s, "P=50.0%") || !strings.Contains(s, "R=25.0%") {
+		t.Errorf("String = %q", s)
+	}
+}

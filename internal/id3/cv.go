@@ -1,0 +1,199 @@
+package id3
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// CVResult aggregates a repeated k-fold cross validation, the paper's
+// evaluation protocol for the smoking classifier: "We run a five-fold
+// cross validation ten times, and each time the dataset is randomly
+// shuffled."
+type CVResult struct {
+	Accuracy    float64 // micro-averaged: correct / total over all folds and rounds
+	StdDev      float64 // standard deviation of per-round accuracies
+	MinFeatures int     // fewest features used by any fold's tree
+	MaxFeatures int     // most features used by any fold's tree
+	PerClass    map[string]ClassMetrics
+	// Confusion[actual][predicted] counts over all rounds.
+	Confusion map[string]map[string]int
+	Rounds    int
+	Folds     int
+}
+
+// ClassMetrics are one class's precision and recall over the whole CV.
+type ClassMetrics struct {
+	Precision float64
+	Recall    float64
+	Support   int
+}
+
+// CrossValidate runs `rounds` repetitions of k-fold cross validation with
+// per-round shuffles driven by seed. Micro-averaged accuracy equals both
+// micro precision and micro recall, the number the paper reports as
+// "average precision (recall) is 92.2%".
+func CrossValidate(examples []Example, k, rounds int, seed int64) CVResult {
+	return crossValidate(examples, k, rounds, seed, Train)
+}
+
+// crossValidate is the shared fold loop, parameterized by the training
+// function so split criteria can be compared (see CrossValidateWith).
+func crossValidate(examples []Example, k, rounds int, seed int64, trainFn func([]Example) *Tree) CVResult {
+	if k < 2 || len(examples) < k {
+		return CVResult{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := CVResult{
+		MinFeatures: 1 << 30,
+		PerClass:    map[string]ClassMetrics{},
+		Confusion:   map[string]map[string]int{},
+		Rounds:      rounds,
+		Folds:       k,
+	}
+	correct, total := 0, 0
+	tp := map[string]int{}      // class → true positives
+	predN := map[string]int{}   // class → predicted count
+	actualN := map[string]int{} // class → actual count
+	var roundAccs []float64
+
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		roundCorrect, roundTotal := 0, 0
+		for fold := 0; fold < k; fold++ {
+			var train, test []Example
+			for pos, ei := range idx {
+				if pos%k == fold {
+					test = append(test, examples[ei])
+				} else {
+					train = append(train, examples[ei])
+				}
+			}
+			tree := trainFn(train)
+			if fc := tree.FeatureCount(); fc < res.MinFeatures {
+				res.MinFeatures = fc
+			}
+			if fc := tree.FeatureCount(); fc > res.MaxFeatures {
+				res.MaxFeatures = fc
+			}
+			for _, e := range test {
+				pred := tree.Classify(e.Features)
+				total++
+				roundTotal++
+				predN[pred]++
+				actualN[e.Class]++
+				if res.Confusion[e.Class] == nil {
+					res.Confusion[e.Class] = map[string]int{}
+				}
+				res.Confusion[e.Class][pred]++
+				if pred == e.Class {
+					correct++
+					roundCorrect++
+					tp[e.Class]++
+				}
+			}
+		}
+		if roundTotal > 0 {
+			roundAccs = append(roundAccs, float64(roundCorrect)/float64(roundTotal))
+		}
+	}
+	if total > 0 {
+		res.Accuracy = float64(correct) / float64(total)
+	}
+	res.StdDev = stddev(roundAccs)
+	for c := range actualN {
+		m := ClassMetrics{Support: actualN[c] / max(rounds, 1)}
+		if predN[c] > 0 {
+			m.Precision = float64(tp[c]) / float64(predN[c])
+		}
+		if actualN[c] > 0 {
+			m.Recall = float64(tp[c]) / float64(actualN[c])
+		}
+		res.PerClass[c] = m
+	}
+	if res.MinFeatures == 1<<30 {
+		res.MinFeatures = 0
+	}
+	return res
+}
+
+// stddev is the population standard deviation.
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return sqrt(v / float64(len(xs)))
+}
+
+// sqrt by Newton iteration, avoiding a math import for one call.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z -= (z*z - x) / (2 * z)
+	}
+	return z
+}
+
+// ConfusionString renders the confusion matrix with classes sorted.
+func (r CVResult) ConfusionString() string {
+	classes := make([]string, 0, len(r.Confusion))
+	for c := range r.Confusion {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "actual\\pred")
+	for _, c := range classes {
+		fmt.Fprintf(&b, " %8s", c)
+	}
+	b.WriteByte('\n')
+	for _, a := range classes {
+		fmt.Fprintf(&b, "%-10s", a)
+		for _, p := range classes {
+			fmt.Fprintf(&b, " %8d", r.Confusion[a][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the CV result as a short report.
+func (r CVResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-fold CV × %d rounds: accuracy (micro P=R) %.1f%% (±%.1f across rounds), features per tree %d–%d\n",
+		r.Folds, r.Rounds, 100*r.Accuracy, 100*r.StdDev, r.MinFeatures, r.MaxFeatures)
+	classes := make([]string, 0, len(r.PerClass))
+	for c := range r.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		m := r.PerClass[c]
+		fmt.Fprintf(&b, "  %-10s P=%.1f%% R=%.1f%% (n=%d)\n", c, 100*m.Precision, 100*m.Recall, m.Support)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

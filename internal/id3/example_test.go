@@ -1,0 +1,30 @@
+package id3_test
+
+import (
+	"fmt"
+
+	"repro/internal/id3"
+)
+
+// Train on the paper's smoking examples and classify a held-out phrasing.
+func ExampleTrain() {
+	examples := []id3.Example{
+		{Features: id3.ExtractFeatures("She quit smoking five years ago", id3.DefaultOptions()), Class: "former"},
+		{Features: id3.ExtractFeatures("She stopped smoking last year", id3.DefaultOptions()), Class: "former"},
+		{Features: id3.ExtractFeatures("She is currently a smoker", id3.DefaultOptions()), Class: "current"},
+		{Features: id3.ExtractFeatures("Current smoker, one pack per day", id3.DefaultOptions()), Class: "current"},
+		{Features: id3.ExtractFeatures("She has never smoked", id3.DefaultOptions()), Class: "never"},
+		{Features: id3.ExtractFeatures("Denies tobacco use", id3.DefaultOptions()), Class: "never"},
+	}
+	tree := id3.Train(examples)
+	probe := id3.ExtractFeatures("Patient quit smoking in 1995", id3.DefaultOptions())
+	fmt.Println(tree.Classify(probe))
+	// Output: former
+}
+
+// The §3.3 lemma option folds inflections into one Boolean feature.
+func ExampleExtractFeatures() {
+	feats := id3.ExtractFeatures("She denies smoking.", id3.DefaultOptions())
+	fmt.Println(feats["deny"])
+	// Output: true
+}

@@ -1,0 +1,47 @@
+package lexicon_test
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+)
+
+// The paper's §3.2 normalization example: uninflect each word, then sort
+// words alphabetically.
+func ExampleNormalize() {
+	fmt.Println(lexicon.Normalize("high blood pressures"))
+	// Output: blood high pressure
+}
+
+// The paper's §3.3 lemma example: "denies," "denied" and "deny" are
+// treated as the same feature.
+func ExampleLemma() {
+	for _, w := range []string{"denies", "denied", "deny"} {
+		fmt.Println(lexicon.Lemma(w, lexicon.Verb))
+	}
+	// Output:
+	// deny
+	// deny
+	// deny
+}
+
+// Feature-name recall widening: a concept expands to its synonyms and
+// inflected variants.
+func ExampleExpandWithSynonyms() {
+	for _, v := range lexicon.ExpandWithSynonyms("pulse") {
+		fmt.Println(v)
+	}
+	// Output:
+	// heart rate
+	// heart rated
+	// heart rates
+	// heart rating
+	// pulse
+	// pulse rate
+	// pulse rated
+	// pulse rates
+	// pulse rating
+	// pulsed
+	// pulses
+	// pulsing
+}

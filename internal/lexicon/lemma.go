@@ -1,0 +1,228 @@
+// Package lexicon is the WordNet substitute used by the clinical IE
+// system: it provides lemmatization (the "uninfected form" of the paper),
+// generation of inflected variants for feature-name recall, and a small
+// synonym graph for clinical vocabulary.
+//
+// Zhou et al. use WordNet 2.0 for exactly two operations: getting the
+// lemma of each surface word, and generating inflected variants of feature
+// names and their synonyms. Both are closed morphology problems handled
+// here with detachment rules plus exception lists, the same mechanism
+// WordNet's morphy uses.
+package lexicon
+
+import "strings"
+
+// POSClass selects the morphology rule set to apply.
+type POSClass int
+
+// Morphology rule sets. Any applies noun rules then verb rules then
+// adjective rules and returns the first lemma that differs from the input
+// or is known.
+const (
+	Any POSClass = iota
+	Noun
+	Verb
+	Adjective
+)
+
+// irregular noun plurals → singular.
+var irregularNouns = map[string]string{
+	"men": "man", "women": "woman", "children": "child", "teeth": "tooth",
+	"feet": "foot", "mice": "mouse", "geese": "goose", "people": "person",
+	"diagnoses": "diagnosis", "prognoses": "prognosis", "metastases": "metastasis",
+	"stenoses": "stenosis", "anastomoses": "anastomosis", "psychoses": "psychosis",
+	"neuroses": "neurosis", "fibroses": "fibrosis", "thromboses": "thrombosis",
+	"sclerosis": "sclerosis", "biopsies": "biopsy", "allergies": "allergy",
+	"histories": "history", "pregnancies": "pregnancy", "deliveries": "delivery",
+	"surgeries": "surgery", "therapies": "therapy", "arteries": "artery",
+	"ovaries": "ovary", "calculi": "calculus", "nuclei": "nucleus",
+	"fungi": "fungus", "carcinomata": "carcinoma", "carcinomas": "carcinoma",
+	"lymphomas": "lymphoma", "hematomas": "hematoma", "criteria": "criterion",
+	"phenomena": "phenomenon", "data": "datum", "vertebrae": "vertebra",
+	"appendices": "appendix", "indices": "index", "lumpectomies": "lumpectomy",
+	"mastectomies": "mastectomy", "hysterectomies": "hysterectomy",
+	"cholecystectomies": "cholecystectomy", "laminectomies": "laminectomy",
+	"mammograms": "mammogram", "masses": "mass",
+}
+
+// irregular verb forms → base.
+var irregularVerbs = map[string]string{
+	"was": "be", "were": "be", "is": "be", "are": "be", "am": "be", "been": "be", "being": "be",
+	"has": "have", "had": "have", "having": "have",
+	"did": "do", "does": "do", "done": "do", "doing": "do",
+	"went": "go", "gone": "go", "goes": "go", "going": "go",
+	"said": "say", "says": "say",
+	"saw": "see", "seen": "see", "sees": "see",
+	"took": "take", "taken": "take", "takes": "take",
+	"came": "come", "comes": "come",
+	"gave": "give", "given": "give", "gives": "give",
+	"got": "get", "gotten": "get", "gets": "get",
+	"underwent": "undergo", "undergone": "undergo", "undergoes": "undergo",
+	"felt": "feel", "feels": "feel",
+	"found": "find", "finds": "find",
+	"drank": "drink", "drunk": "drink", "drinks": "drink",
+	"quit": "quit", "quits": "quit",
+	"smoked": "smoke", "smokes": "smoke", "smoking": "smoke",
+	"denied": "deny", "denies": "deny", "denying": "deny",
+	"left": "leave", "leaves": "leave",
+	"began": "begin", "begun": "begin", "begins": "begin",
+	"stopped": "stop", "stops": "stop", "stopping": "stop",
+	"showed": "show", "shown": "show", "shows": "show",
+	"revealed": "reveal", "reveals": "reveal", "revealing": "reveal",
+	"reported": "report", "reports": "report",
+	"admitted": "admit", "admits": "admit", "admitting": "admit",
+	"referred": "refer", "refers": "refer", "referring": "refer",
+}
+
+// irregular adjectives → base.
+var irregularAdjectives = map[string]string{
+	"better": "good", "best": "good", "worse": "bad", "worst": "bad",
+	"further": "far", "farther": "far",
+}
+
+// words that look inflected but are not ("pancreas" is not a plural).
+var nonInflected = map[string]bool{
+	"pancreas": true, "diabetes": true, "herpes": true, "series": true,
+	"species": true, "news": true, "lens": true, "aids": true,
+	"dyspnea": true, "nausea": true, "pus": true, "this": true,
+	"his": true, "is": false, "its": true, "was": false, "yes": true,
+	"pelvis": true, "pubis": true, "axis": true, "basis": false,
+	"always": true, "perhaps": true, "gas": true, "abscess": true,
+	"illness": true, "distress": true, "less": true, "unless": true,
+	"access": true, "process": false, "previous": true, "numerous": true,
+	"status": true, "uterus": true, "plus": true, "thus": true,
+	"gravida": true, "para": true, "menses": true,
+}
+
+// Lemma returns the uninflected form of w under the given POS class. The
+// input is lower-cased first; the result is always lower case. Unknown
+// words fall back to rule-based suffix detachment; if no rule applies the
+// lower-cased input is returned unchanged.
+func Lemma(w string, class POSClass) string {
+	w = strings.ToLower(w)
+	if w == "" {
+		return w
+	}
+	switch class {
+	case Noun:
+		return nounLemma(w)
+	case Verb:
+		return verbLemma(w)
+	case Adjective:
+		return adjLemma(w)
+	default:
+		if v, ok := irregularVerbs[w]; ok {
+			return v
+		}
+		if v, ok := irregularNouns[w]; ok {
+			return v
+		}
+		if v, ok := irregularAdjectives[w]; ok {
+			return v
+		}
+		if n := nounLemma(w); n != w {
+			return n
+		}
+		if v := verbLemma(w); v != w {
+			return v
+		}
+		return adjLemma(w)
+	}
+}
+
+func nounLemma(w string) string {
+	if v, ok := irregularNouns[w]; ok {
+		return v
+	}
+	if nonInflected[w] || len(w) < 3 {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "xes"), strings.HasSuffix(w, "ches"), strings.HasSuffix(w, "shes"), strings.HasSuffix(w, "sses"), strings.HasSuffix(w, "zes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ves") && len(w) > 4:
+		return w[:len(w)-3] + "f"
+	case strings.HasSuffix(w, "ss"), strings.HasSuffix(w, "us"), strings.HasSuffix(w, "is"):
+		return w
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func verbLemma(w string) string {
+	if v, ok := irregularVerbs[w]; ok {
+		return v
+	}
+	if nonInflected[w] || len(w) < 4 {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		stem := w[:len(w)-3]
+		return undouble(stem)
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		stem := w[:len(w)-2]
+		return undouble(stem)
+	case strings.HasSuffix(w, "es") && (strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes") || strings.HasSuffix(w, "sses") || strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes")):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func adjLemma(w string) string {
+	if v, ok := irregularAdjectives[w]; ok {
+		return v
+	}
+	if len(w) < 5 {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "iest"):
+		return w[:len(w)-4] + "y"
+	case strings.HasSuffix(w, "ier"):
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "est") && len(w) > 5:
+		return undouble(w[:len(w)-3])
+	}
+	return w
+}
+
+// undouble reverses consonant doubling ("stopp" → "stop") and restores a
+// trailing 'e' when the stem ends in a pattern that required one
+// ("believ" → "believe", "smok" → "smoke").
+func undouble(stem string) string {
+	n := len(stem)
+	if n >= 3 && stem[n-1] == stem[n-2] && isConsonant(stem[n-1]) && stem[n-1] != 'l' && stem[n-1] != 's' {
+		return stem[:n-1]
+	}
+	// Restore 'e' for stems ending consonant+{c,s,v,z,g,k} preceded by a
+	// vowel: "smok"→"smoke", "believ"→"believe", "dos"→"dose".
+	if n >= 3 && isConsonant(stem[n-1]) && isVowel(stem[n-2]) {
+		switch stem[n-1] {
+		case 'v', 'c', 'z', 'g', 'k', 's', 'u':
+			return stem + "e"
+		}
+	}
+	return stem
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+func isConsonant(c byte) bool {
+	return c >= 'a' && c <= 'z' && !isVowel(c)
+}

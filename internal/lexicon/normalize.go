@@ -1,0 +1,43 @@
+package lexicon
+
+import (
+	"sort"
+	"strings"
+)
+
+// Normalize converts a candidate term to the canonical form used as an
+// ontology lookup key. Per §3.2 of the paper, normalization has two steps:
+// (1) get the uninfected form of each surface word, (2) sort the words in
+// alphabetic order. Example: "high blood pressures" → "blood high
+// pressure".
+func Normalize(term string) string {
+	words := strings.Fields(strings.ToLower(term))
+	if len(words) == 0 {
+		return ""
+	}
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		w = strings.Trim(w, ".,;:()[]'\"")
+		if w == "" {
+			continue
+		}
+		out = append(out, Lemma(w, Noun))
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+// NormalizeWords normalizes a pre-tokenized term. It avoids re-splitting
+// when the caller already has word tokens.
+func NormalizeWords(words []string) string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		w = strings.ToLower(strings.Trim(w, ".,;:()[]'\""))
+		if w == "" {
+			continue
+		}
+		out = append(out, Lemma(w, Noun))
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}

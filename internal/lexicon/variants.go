@@ -1,0 +1,144 @@
+package lexicon
+
+import "strings"
+
+// Variants generates the inflected variants of a word: plural and third
+// person singular, past tense, gerund. It is used to widen recall when
+// searching feature names in text; the paper: "Regarding infected
+// variants, we used WordNet and some heuristics to automatically generate
+// them from original concepts."
+func Variants(w string) []string {
+	w = strings.ToLower(w)
+	if w == "" {
+		return nil
+	}
+	set := map[string]bool{w: true}
+	add := func(s string) {
+		if s != "" {
+			set[s] = true
+		}
+	}
+	add(Pluralize(w))
+	add(PastTense(w))
+	add(Gerund(w))
+	// Reverse map of irregulars: include every irregular form whose lemma
+	// is w.
+	for form, base := range irregularNouns {
+		if base == w {
+			add(form)
+		}
+	}
+	for form, base := range irregularVerbs {
+		if base == w {
+			add(form)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortStrings(out)
+	return out
+}
+
+// PhraseVariants generates variants of a multi-word phrase by inflecting
+// its head (final) word: "live birth" → {"live birth", "live births", ...}.
+func PhraseVariants(phrase string) []string {
+	phrase = strings.ToLower(strings.TrimSpace(phrase))
+	words := strings.Fields(phrase)
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) == 1 {
+		return Variants(words[0])
+	}
+	head := words[len(words)-1]
+	prefix := strings.Join(words[:len(words)-1], " ") + " "
+	var out []string
+	for _, v := range Variants(head) {
+		out = append(out, prefix+v)
+	}
+	return out
+}
+
+// Pluralize returns the regular plural of a noun.
+func Pluralize(w string) string {
+	if w == "" {
+		return w
+	}
+	for form, base := range irregularNouns {
+		if base == w {
+			return form
+		}
+	}
+	switch {
+	case strings.HasSuffix(w, "y") && len(w) > 1 && isConsonant(w[len(w)-2]):
+		return w[:len(w)-1] + "ies"
+	case strings.HasSuffix(w, "s"), strings.HasSuffix(w, "x"), strings.HasSuffix(w, "z"),
+		strings.HasSuffix(w, "ch"), strings.HasSuffix(w, "sh"):
+		return w + "es"
+	default:
+		return w + "s"
+	}
+}
+
+// PastTense returns the regular past tense of a verb.
+func PastTense(w string) string {
+	if w == "" {
+		return w
+	}
+	for form, base := range irregularVerbs {
+		if base == w && strings.HasSuffix(form, "ed") {
+			return form
+		}
+	}
+	switch {
+	case strings.HasSuffix(w, "e"):
+		return w + "d"
+	case strings.HasSuffix(w, "y") && len(w) > 1 && isConsonant(w[len(w)-2]):
+		return w[:len(w)-1] + "ied"
+	case len(w) >= 3 && isConsonant(w[len(w)-1]) && isVowel(w[len(w)-2]) && isConsonant(w[len(w)-3]) && shouldDouble(w):
+		return w + string(w[len(w)-1]) + "ed"
+	default:
+		return w + "ed"
+	}
+}
+
+// Gerund returns the -ing form of a verb.
+func Gerund(w string) string {
+	if w == "" {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ie"):
+		return w[:len(w)-2] + "ying"
+	case strings.HasSuffix(w, "e") && !strings.HasSuffix(w, "ee"):
+		return w[:len(w)-1] + "ing"
+	case len(w) >= 3 && isConsonant(w[len(w)-1]) && isVowel(w[len(w)-2]) && isConsonant(w[len(w)-3]) && shouldDouble(w):
+		return w + string(w[len(w)-1]) + "ing"
+	default:
+		return w + "ing"
+	}
+}
+
+// shouldDouble reports whether a short verb's final consonant doubles
+// before -ed/-ing (stop → stopped, but visit → visited). The heuristic:
+// double only monosyllabic-looking stems (≤4 letters) whose final
+// consonant is not w, x, or y.
+func shouldDouble(w string) bool {
+	c := w[len(w)-1]
+	if c == 'w' || c == 'x' || c == 'y' {
+		return false
+	}
+	return len(w) <= 4
+}
+
+// sortStrings is an insertion sort to avoid importing sort for tiny
+// slices.
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

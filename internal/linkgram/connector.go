@@ -1,0 +1,98 @@
+// Package linkgram is a from-scratch link grammar parser for the clinical
+// dictation sub-language, standing in for the CMU Link Grammar Parser 4.1
+// used by Zhou et al. (ICDE 2005).
+//
+// A link grammar assigns each word a set of disjuncts; a disjunct is an
+// ordered list of left-pointing and right-pointing connectors. A linkage
+// is a set of typed links between word pairs such that every word uses
+// exactly one disjunct completely, links do not cross (planarity), and
+// the whole sentence is connected. The parser uses the classic
+// Sleator–Temperley span dynamic program over regions (L, R, le, re).
+//
+// The extraction system uses two products of the parse, mirroring the
+// paper: the linkage viewed as a weighted graph (shortest word-pair
+// distance associates numbers with feature keywords, §3.1) and the
+// constituent roles derived from link types (subject / verb / object /
+// supplement, used by the ID3 feature extractor, §3.3).
+package linkgram
+
+// node is one connector in an immutable, interned connector list. Lists
+// are ordered FARTHEST-FIRST: the head connector links to the farthest
+// word in its direction, which is the order the span DP consumes them in.
+// Interning gives every distinct (name, next) pair a unique id, so suffix
+// sharing keeps the memo table small.
+type node struct {
+	name string
+	next *node
+	id   int32
+}
+
+// interner dedupes connector lists within a single parse.
+type interner struct {
+	byKey map[internKey]*node
+	nodes []*node
+}
+
+type internKey struct {
+	name string
+	next int32
+}
+
+func newInterner() *interner {
+	return &interner{byKey: make(map[internKey]*node)}
+}
+
+// push prepends name to list (making name the new farthest connector) and
+// returns the interned result.
+func (in *interner) push(name string, list *node) *node {
+	k := internKey{name: name, next: listID(list)}
+	if n, ok := in.byKey[k]; ok {
+		return n
+	}
+	n := &node{name: name, next: list, id: int32(len(in.nodes) + 1)}
+	in.byKey[k] = n
+	in.nodes = append(in.nodes, n)
+	return n
+}
+
+// fromNearFirst builds an interned farthest-first list from a
+// nearest-first slice of connector names (the order dictionary entries
+// are written in, matching standard link grammar notation).
+func (in *interner) fromNearFirst(names []string) *node {
+	var list *node
+	for _, name := range names { // nearest ends up deepest
+		list = in.push(name, list)
+	}
+	return list
+}
+
+func listID(n *node) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.id
+}
+
+// match reports whether two connector names can link. Names match
+// exactly; this grammar does not use subscript wildcards.
+func match(a, b string) bool { return a == b }
+
+// disjunct is one way a word can connect: left and right connector lists,
+// both farthest-first.
+type disjunct struct {
+	left, right *node
+}
+
+// listNames returns the connector names nearest-first, for debugging and
+// tests.
+func listNames(n *node) []string {
+	var far []string
+	for ; n != nil; n = n.next {
+		far = append(far, n.name)
+	}
+	// reverse: stored farthest-first, report nearest-first
+	for i, j := 0, len(far)-1; i < j; i, j = i+1, j-1 {
+		far[i], far[j] = far[j], far[i]
+	}
+	return far
+}

@@ -1,0 +1,67 @@
+package linkgram
+
+import "repro/internal/pos"
+
+// CountLinkages returns the number of distinct complete linkages of the
+// sentence, capped at CountCap (the CMU parser similarly reports "found
+// N linkages"). Zero means no linkage. The count measures grammatical
+// ambiguity: the extractor uses the first linkage, and a large count on
+// a sentence class signals that link weights, not linkage choice, should
+// carry the association decision.
+const CountCap = 1 << 20
+
+// CountLinkages counts complete linkages for a tagged sentence.
+func CountLinkages(tagged []pos.TaggedToken) int {
+	p := newParser(tagged)
+	if p == nil {
+		return 0
+	}
+	n := p.count(0, len(p.words), p.wallRight, nil, make(map[memoKey]int64))
+	if n > CountCap {
+		return CountCap
+	}
+	return int(n)
+}
+
+// count is the counting variant of the feasibility DP. It shares the
+// parser's word/disjunct preparation but keeps its own memo (counts, not
+// booleans).
+func (p *parser) count(L, R int, le, re *node, memo map[memoKey]int64) int64 {
+	if L+1 == R {
+		if le == nil && re == nil {
+			return 1
+		}
+		return 0
+	}
+	key := memoKey{l: int16(L), r: int16(R), le: listID(le), re: listID(re)}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	memo[key] = 0
+	var total int64
+	for W := L + 1; W < R; W++ {
+		for _, d := range p.cands[W] {
+			if le != nil && d.left != nil && match(le.name, d.left.name) {
+				lc := p.count(L, W, le.next, d.left.next, memo)
+				if lc > 0 {
+					if re != nil && d.right != nil && match(d.right.name, re.name) {
+						total += lc * p.count(W, R, d.right.next, re.next, memo)
+					}
+					total += lc * p.count(W, R, d.right, re, memo)
+				}
+			}
+			if le == nil && re != nil && d.right != nil && match(d.right.name, re.name) {
+				lc := p.count(L, W, nil, d.left, memo)
+				if lc > 0 {
+					total += lc * p.count(W, R, d.right.next, re.next, memo)
+				}
+			}
+			if total > CountCap {
+				memo[key] = total
+				return total
+			}
+		}
+	}
+	memo[key] = total
+	return total
+}

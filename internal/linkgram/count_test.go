@@ -1,0 +1,63 @@
+package linkgram
+
+import (
+	"testing"
+
+	"repro/internal/pos"
+	"repro/internal/textproc"
+)
+
+func countText(t *testing.T, text string) int {
+	t.Helper()
+	sents := textproc.SplitSentences(text)
+	if len(sents) != 1 {
+		t.Fatalf("want 1 sentence, got %d", len(sents))
+	}
+	return CountLinkages(pos.TagSentence(sents[0]))
+}
+
+func TestCountPositiveWhenParseSucceeds(t *testing.T) {
+	for _, text := range []string{
+		"Blood pressure is 144/90.",
+		"She quit smoking five years ago.",
+		"Pulse of 96.",
+	} {
+		if n := countText(t, text); n <= 0 {
+			t.Errorf("CountLinkages(%q) = %d, want > 0", text, n)
+		}
+	}
+}
+
+func TestCountZeroWhenNoParse(t *testing.T) {
+	if n := countText(t, "for with tobacco."); n != 0 {
+		t.Errorf("unparseable sentence counted %d linkages", n)
+	}
+}
+
+func TestCountConsistentWithParse(t *testing.T) {
+	// Count > 0 ⟺ Parse succeeds, across a spread of corpus sentences.
+	texts := []string{
+		"Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.",
+		"Menarche at age 10, gravida 4, para 3.",
+		"She has never smoked.",
+		"She denies tobacco use.",
+		"for with tobacco.",
+	}
+	for _, text := range texts {
+		sents := textproc.SplitSentences(text)
+		tagged := pos.TagSentence(sents[0])
+		n := CountLinkages(tagged)
+		_, err := Parse(tagged)
+		if (n > 0) != (err == nil) {
+			t.Errorf("%q: count=%d but parse err=%v", text, n, err)
+		}
+	}
+}
+
+func TestCountAmbiguityGrowsWithLength(t *testing.T) {
+	short := countText(t, "Pulse of 96.")
+	long := countText(t, "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.")
+	if long < short {
+		t.Errorf("longer coordinated sentence should be at least as ambiguous: %d < %d", long, short)
+	}
+}

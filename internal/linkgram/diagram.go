@@ -1,0 +1,117 @@
+package linkgram
+
+import "strings"
+
+// Diagram renders the linkage as ASCII art in the style of the CMU link
+// parser output shown in the paper's Figure 1: arcs above the sentence,
+// one row per nesting level, labels at arc apexes.
+//
+//	    +------O------+
+//	 +-S-+            |
+//	 |   |            |
+//	pressure is     144/90
+func (lk *Linkage) Diagram() string {
+	if len(lk.Words) == 0 {
+		return ""
+	}
+	// Column position of each word's center in the rendered word line.
+	line := make([]string, len(lk.Words))
+	centers := make([]int, len(lk.Words))
+	col := 0
+	for i, w := range lk.Words {
+		line[i] = w.Text
+		centers[i] = col + len(w.Text)/2
+		col += len(w.Text) + 1
+	}
+	wordLine := strings.Join(line, " ")
+	width := len(wordLine)
+
+	// Assign each link a level: 1 + max level of links strictly nested
+	// inside it. Links are planar so nesting is well defined.
+	type arc struct {
+		l, r  int
+		label string
+		level int
+	}
+	arcs := make([]arc, len(lk.Links))
+	for i, ln := range lk.Links {
+		arcs[i] = arc{l: ln.Left, r: ln.Right, label: ln.Label}
+	}
+	// Sort by span width ascending so inner arcs get levels first.
+	for i := 1; i < len(arcs); i++ {
+		for j := i; j > 0 && span(arcs[j]) < span(arcs[j-1]); j-- {
+			arcs[j], arcs[j-1] = arcs[j-1], arcs[j]
+		}
+	}
+	maxLevel := 0
+	for i := range arcs {
+		lvl := 1
+		for j := range arcs[:i] {
+			if arcs[j].l >= arcs[i].l && arcs[j].r <= arcs[i].r && arcs[j].level >= lvl {
+				lvl = arcs[j].level + 1
+			}
+		}
+		arcs[i].level = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+
+	// Paint rows top-down. Row k (1-based from the word line) holds the
+	// horizontal bars of arcs at level k; vertical risers pass through
+	// lower rows.
+	rows := make([][]byte, maxLevel)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	paint := func(row []byte, pos int, c byte) {
+		if pos >= 0 && pos < len(row) {
+			row[pos] = c
+		}
+	}
+	for _, a := range arcs {
+		lc, rc := centers[a.l], centers[a.r]
+		top := rows[maxLevel-a.level]
+		paint(top, lc, '+')
+		paint(top, rc, '+')
+		for x := lc + 1; x < rc; x++ {
+			if top[x] == ' ' {
+				top[x] = '-'
+			}
+		}
+		// Label at the middle of the bar.
+		mid := (lc + rc) / 2
+		for i, ch := range []byte(a.label) {
+			paint(top, mid-len(a.label)/2+i, ch)
+		}
+		// Risers through lower levels.
+		for lvl := a.level - 1; lvl >= 1; lvl-- {
+			r := rows[maxLevel-lvl]
+			paint(r, lc, '|')
+			paint(r, rc, '|')
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		b.Write(trimRight(r))
+		b.WriteByte('\n')
+	}
+	b.WriteString(wordLine)
+	return b.String()
+}
+
+func span(a struct {
+	l, r  int
+	label string
+	level int
+}) int {
+	return a.r - a.l
+}
+
+func trimRight(b []byte) []byte {
+	n := len(b)
+	for n > 0 && b[n-1] == ' ' {
+		n--
+	}
+	return b[:n]
+}

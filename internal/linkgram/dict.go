@@ -1,0 +1,381 @@
+package linkgram
+
+import (
+	"strings"
+
+	"repro/internal/pos"
+)
+
+// Connector name inventory. Lists in this file are written NEAREST-FIRST,
+// the order of standard link grammar notation; the interner reverses them.
+//
+//	W   wall → sentence head (finite verb or fragment head)
+//	S   subject → finite verb
+//	O   verb/gerund → object
+//	Pa  copula → predicate adjective
+//	PP  have → past participle
+//	I   modal/do/to → base verb
+//	A   pre-nominal modifier → noun (relabeled AN when the modifier is a noun)
+//	D   determiner/possessive/cardinal → noun
+//	EN  approximator adverb → determiner target ("about a year")
+//	E   pre-verbal adverb → verb
+//	EA  adverb → adjective ("very significant")
+//	MV  verb → post-verbal modifier (preposition, adverb, "ago")
+//	M   noun/adjective → post-nominal preposition ("pulse of", "significant for")
+//	J   preposition → its object
+//	NM  noun → post-nominal number ("age 10", "gravida 4")
+//	T   time noun → "ago"
+//	CO  phrase tail → following comma/conjunction
+//	CC  comma/conjunction → following fragment head
+const (
+	cW  = "W"
+	cS  = "S"
+	cO  = "O"
+	cPa = "Pa"
+	cPP = "PP"
+	cI  = "I"
+	cA  = "A"
+	cD  = "D"
+	cEN = "EN"
+	cE  = "E"
+	cEA = "EA"
+	cMV = "MV"
+	cM  = "M"
+	cJ  = "J"
+	cNM = "NM"
+	cT  = "T"
+	cCO = "CO"
+	cCC = "CC"
+	cR  = "R" // noun → relative pronoun ("woman who underwent ...")
+)
+
+// idioms are multi-word expressions parsed as a single word. Each maps
+// the lower-cased joined form to the disjunct family it behaves as.
+var idioms = map[string]string{
+	"as well as":  "conj",
+	"status post": "prep",
+}
+
+// dictBuilder accumulates the disjunct sets for one parse.
+type dictBuilder struct {
+	in *interner
+}
+
+// dis builds one disjunct from nearest-first connector name lists.
+func (b *dictBuilder) dis(left, right []string) disjunct {
+	return disjunct{
+		left:  b.in.fromNearFirst(left),
+		right: b.in.fromNearFirst(right),
+	}
+}
+
+// cat concatenates name lists.
+func cat(lists ...[]string) []string {
+	var out []string
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// disjunctsFor returns the candidate disjuncts for a word given its tag.
+// The generation enumerates role × modifier × extra combinations; the
+// power-pruning pass in the parser discards combinations whose connectors
+// cannot match anything in the sentence.
+func (b *dictBuilder) disjunctsFor(word string, tag pos.Tag) []disjunct {
+	w := strings.ToLower(word)
+	switch {
+	case w == "," || w == ";" || w == "and" || w == "or" || w == "but" || w == "nor":
+		return []disjunct{
+			b.dis([]string{cCO}, []string{cCC}),
+			b.dis([]string{cCC}, []string{cCC}),
+		}
+	case w == "ago":
+		return []disjunct{
+			b.dis([]string{cT, cMV}, nil),
+			b.dis([]string{cT, cM}, nil),
+			b.dis([]string{cT, cCC}, nil),
+		}
+	case w == "to":
+		return []disjunct{b.dis([]string{cI}, []string{cI})}
+	case w == "who" || w == "which" || w == "that":
+		// Relative pronoun: links left to its head noun, right to the
+		// relative clause's verb as its subject.
+		return []disjunct{
+			b.dis([]string{cR}, []string{cS}),
+			b.dis(nil, []string{cS}), // plain subject reading for "that/which"
+		}
+	}
+
+	switch {
+	case tag == pos.DT || tag == pos.PRS:
+		return []disjunct{
+			b.dis(nil, []string{cD}),
+			b.dis([]string{cEN}, []string{cD}),
+		}
+	case tag == pos.CD:
+		return b.numberDisjuncts()
+	case tag.IsNoun():
+		return b.nounDisjuncts()
+	case tag == pos.PRP:
+		return []disjunct{
+			b.dis(nil, []string{cS}),
+			b.dis([]string{cO}, nil),
+			b.dis([]string{cJ}, nil),
+		}
+	case tag == pos.VBZ || tag == pos.VBD || tag == pos.VBP:
+		return b.finiteVerbDisjuncts()
+	case tag == pos.MD:
+		return b.modalDisjuncts()
+	case tag == pos.VB:
+		return b.baseVerbDisjuncts()
+	case tag == pos.VBN:
+		return b.participleDisjuncts()
+	case tag == pos.VBG:
+		return b.gerundDisjuncts()
+	case tag == pos.JJ:
+		return b.adjectiveDisjuncts()
+	case tag == pos.RB:
+		return []disjunct{
+			b.dis(nil, []string{cE}),  // pre-verbal: "never smoked"
+			b.dis([]string{cMV}, nil), // post-verbal: "is currently"
+			b.dis(nil, []string{cEA}), // adjective modifier: "very significant"
+			b.dis(nil, []string{cEN}), // approximator: "about a year"
+			b.dis([]string{cCC}, nil), // fragment after comma: ", occasionally"
+			b.dis([]string{cMV}, []string{cCO}),
+		}
+	case tag == pos.IN:
+		return []disjunct{
+			b.dis([]string{cM}, []string{cJ}),  // post-nominal: "pulse of 84"
+			b.dis([]string{cMV}, []string{cJ}), // post-verbal: "quit in 1990"
+			b.dis([]string{cW}, []string{cJ}),  // sentence-initial
+			b.dis([]string{cCC}, []string{cJ}), // fragment head after comma
+		}
+	case tag == pos.EX:
+		return []disjunct{b.dis(nil, []string{cS})} // "There is no ..."
+	default:
+		return nil // UH, SYM: unconnectable; parser drops or fails
+	}
+}
+
+// nounDisjuncts enumerates noun roles. Left base: up to two A- modifiers
+// (nearest), optional D-, optional EN-. Roles add a far-left or right
+// connector; right extras add NM+/T+/M+ and a trailing CO+.
+func (b *dictBuilder) nounDisjuncts() []disjunct {
+	var out []disjunct
+	for _, base := range leftBases() {
+		// Modifier role: the noun itself modifies a following noun.
+		out = append(out, b.dis(base, []string{cA}))
+		for _, extras := range rightExtras() {
+			// Bare adjunct role: the noun hangs off a later word through
+			// a right extra alone ("five years ago": years—T—ago).
+			if len(extras) > 0 {
+				out = append(out, b.dis(base, extras))
+			}
+			// Subject role. The CO+ may sit nearer than S+ when an
+			// apposition interrupts: "Pulse, noted ..., was 96".
+			out = append(out, b.dis(base, cat(extras, []string{cS})))
+			out = append(out, b.dis(base, cat(extras, []string{cS, cCO})))
+			out = append(out, b.dis(base, cat(extras, []string{cCO, cS})))
+			// Object role.
+			out = append(out, b.dis(cat(base, []string{cO}), extras))
+			out = append(out, b.dis(cat(base, []string{cO}), cat(extras, []string{cCO})))
+			// Preposition-object role.
+			out = append(out, b.dis(cat(base, []string{cJ}), extras))
+			out = append(out, b.dis(cat(base, []string{cJ}), cat(extras, []string{cCO})))
+			// Fragment head after comma/conjunction, and sentence head.
+			out = append(out, b.dis(cat(base, []string{cCC}), extras))
+			out = append(out, b.dis(cat(base, []string{cCC}), cat(extras, []string{cCO})))
+			out = append(out, b.dis(cat(base, []string{cW}), extras))
+			out = append(out, b.dis(cat(base, []string{cW}), cat(extras, []string{cCO})))
+		}
+	}
+	return out
+}
+
+// leftBases enumerates noun left-modifier prefixes, nearest-first.
+func leftBases() [][]string {
+	mods := [][]string{nil, {cA}, {cA, cA}, {cA, cA, cA}}
+	var out [][]string
+	for _, m := range mods {
+		out = append(out, m)
+		out = append(out, cat(m, []string{cD}))
+		out = append(out, cat(m, []string{cD, cEN}))
+		out = append(out, cat(m, []string{cEN}))
+	}
+	return out
+}
+
+// rightExtras enumerates optional right-side noun attachments,
+// nearest-first: a post-nominal number, a time link to "ago", a
+// post-nominal preposition.
+func rightExtras() [][]string {
+	return [][]string{
+		nil,
+		{cNM},
+		{cT},
+		{cM},
+		{cNM, cM},
+		{cT, cM},
+		{cM, cM},
+		{cR},      // relative clause: "woman who underwent ..."
+		{cM, cR},  // "woman in distress who ..."
+		{cNM, cR}, // "Ms. 2 who ..."
+	}
+}
+
+// idiomDisjuncts returns the disjuncts for an idiom family.
+func (b *dictBuilder) idiomDisjuncts(family string) []disjunct {
+	switch family {
+	case "conj":
+		return []disjunct{
+			b.dis([]string{cCO}, []string{cCC}),
+			b.dis([]string{cCC}, []string{cCC}),
+		}
+	case "prep":
+		return []disjunct{
+			b.dis([]string{cM}, []string{cJ}),
+			b.dis([]string{cMV}, []string{cJ}),
+			b.dis([]string{cW}, []string{cJ}),
+			b.dis([]string{cCC}, []string{cJ}),
+		}
+	}
+	return nil
+}
+
+// numberDisjuncts enumerates cardinal-number roles.
+func (b *dictBuilder) numberDisjuncts() []disjunct {
+	var out []disjunct
+	// Determiner-like: "five years", "15 years", "four to seven features".
+	out = append(out, b.dis(nil, []string{cD}))
+	out = append(out, b.dis([]string{cEN}, []string{cD}))
+	// Value roles: object, prep object, post-nominal.
+	for _, role := range []string{cO, cJ, cNM} {
+		out = append(out, b.dis([]string{role}, nil))
+		out = append(out, b.dis([]string{role}, []string{cCO}))
+		out = append(out, b.dis([]string{cEN, role}, nil))
+		out = append(out, b.dis([]string{cEN, role}, []string{cCO}))
+		out = append(out, b.dis([]string{role}, []string{cNM}))
+		out = append(out, b.dis([]string{role}, []string{cNM, cCO}))
+	}
+	// Fragment head: "..., 15 years" handled by years; bare "15" heads:
+	out = append(out, b.dis([]string{cCC}, nil))
+	out = append(out, b.dis([]string{cCC}, []string{cCO}))
+	out = append(out, b.dis([]string{cW}, nil))
+	out = append(out, b.dis([]string{cW}, []string{cCO}))
+	return out
+}
+
+// verbRights enumerates verb right-side variants: a complement, an
+// optional MV+ on either side of it, and an optional trailing CO+.
+func verbRights(complements ...string) [][]string {
+	var out [][]string
+	for _, c := range complements {
+		var bases [][]string
+		if c == "" {
+			bases = [][]string{nil, {cMV}, {cMV, cMV}}
+		} else {
+			bases = [][]string{
+				{c},
+				{cMV, c},
+				{c, cMV},
+				{c, cMV, cMV},
+			}
+		}
+		for _, bb := range bases {
+			out = append(out, bb)
+			out = append(out, cat(bb, []string{cCO}))
+		}
+	}
+	return out
+}
+
+// verbLefts enumerates finite-verb left-side variants: optional pre-verbal
+// adverb, optional subject, optional wall.
+func verbLefts() [][]string {
+	return [][]string{
+		{cS},
+		{cS, cW},
+		{cW},
+		{cE, cS},
+		{cE, cS, cW},
+		{cE, cW},
+		{cCC}, // fragment verb after comma: ", reveals ..."
+		{cE, cCC},
+		{cS, cCC}, // clause after comma with its own subject: ", her pulse was noted"
+		{cCC, cS}, // subject separated by an apposition: "Pulse, noted ..., was 96"
+	}
+}
+
+func (b *dictBuilder) finiteVerbDisjuncts() []disjunct {
+	var out []disjunct
+	rights := verbRights("", cO, cPa, cPP, cI)
+	for _, l := range verbLefts() {
+		for _, r := range rights {
+			out = append(out, b.dis(l, r))
+		}
+	}
+	return out
+}
+
+func (b *dictBuilder) modalDisjuncts() []disjunct {
+	var out []disjunct
+	for _, l := range verbLefts() {
+		for _, r := range verbRights(cI) {
+			out = append(out, b.dis(l, r))
+		}
+	}
+	return out
+}
+
+func (b *dictBuilder) baseVerbDisjuncts() []disjunct {
+	var out []disjunct
+	rights := verbRights("", cO, cPa)
+	lefts := [][]string{{cI}, {cE, cI}}
+	for _, l := range lefts {
+		for _, r := range rights {
+			out = append(out, b.dis(l, r))
+		}
+	}
+	return out
+}
+
+func (b *dictBuilder) participleDisjuncts() []disjunct {
+	var out []disjunct
+	rights := verbRights("", cO)
+	lefts := [][]string{{cPP}, {cE, cPP}, {cCC}, {cW}}
+	for _, l := range lefts {
+		for _, r := range rights {
+			out = append(out, b.dis(l, r))
+		}
+	}
+	return out
+}
+
+func (b *dictBuilder) gerundDisjuncts() []disjunct {
+	var out []disjunct
+	rights := verbRights("", cO)
+	lefts := [][]string{{cO}, {cJ}, {cW}, {cCC}, {cS, cW}, {cS}}
+	for _, l := range lefts {
+		for _, r := range rights {
+			out = append(out, b.dis(l, r))
+		}
+	}
+	return out
+}
+
+func (b *dictBuilder) adjectiveDisjuncts() []disjunct {
+	out := []disjunct{
+		// Attributive.
+		b.dis(nil, []string{cA}),
+		b.dis([]string{cEA}, []string{cA}),
+	}
+	// Predicative and fragment-head roles, with optional post-modifier
+	// preposition and trailing comma link.
+	for _, l := range [][]string{{cPa}, {cEA, cPa}, {cCC}, {cW}} {
+		for _, r := range [][]string{nil, {cM}, {cCO}, {cM, cCO}, {cM, cM}} {
+			out = append(out, b.dis(l, r))
+		}
+	}
+	return out
+}

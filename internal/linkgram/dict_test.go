@@ -1,0 +1,90 @@
+package linkgram
+
+import (
+	"testing"
+
+	"repro/internal/pos"
+	"repro/internal/textproc"
+)
+
+func TestInternerSharesSuffixes(t *testing.T) {
+	in := newInterner()
+	a := in.fromNearFirst([]string{"S", "W"})
+	b := in.fromNearFirst([]string{"S", "W"})
+	if a != b {
+		t.Error("identical lists not interned to the same node")
+	}
+	// Lists sharing a tail share nodes: far-first for [S,W] is W→S and
+	// for [O,W] is W→O — shared head only when the FAR suffix matches.
+	c := in.fromNearFirst([]string{"W"})
+	if listID(c) == 0 {
+		t.Error("single-connector list has zero id")
+	}
+	if a.next == nil || a.next.name != "S" {
+		t.Errorf("far-first ordering broken: %v", listNames(a))
+	}
+}
+
+func TestDictionaryCoverageByTag(t *testing.T) {
+	in := newInterner()
+	b := &dictBuilder{in: in}
+	cases := []struct {
+		word string
+		tag  pos.Tag
+	}{
+		{"pressure", pos.NN}, {"lesions", pos.NNS}, {"Lipitor", pos.NNP},
+		{"significant", pos.JJ}, {"is", pos.VBZ}, {"quit", pos.VBD},
+		{"smoked", pos.VBN}, {"undergoing", pos.VBG}, {"smoke", pos.VB},
+		{"never", pos.RB}, {"of", pos.IN}, {"a", pos.DT}, {"she", pos.PRP},
+		{"84", pos.CD}, {"and", pos.CC}, {"her", pos.PRS},
+		{"will", pos.MD}, {"there", pos.EX},
+		{"who", pos.PRP}, {"ago", pos.IN}, {"to", pos.TO},
+	}
+	for _, c := range cases {
+		ds := b.disjunctsFor(c.word, c.tag)
+		if len(ds) == 0 {
+			t.Errorf("no disjuncts for %q/%s", c.word, c.tag)
+		}
+	}
+	// Unconnectable tags yield nil.
+	if ds := b.disjunctsFor("oh", pos.UH); ds != nil {
+		t.Errorf("UH got disjuncts: %d", len(ds))
+	}
+}
+
+func TestPruningDropsImpossibleDisjuncts(t *testing.T) {
+	// "Pulse of 96." has no comma: every CO/CC-bearing disjunct must be
+	// pruned before the DP runs.
+	sents := textproc.SplitSentences("Pulse of 96.")
+	p := newParser(pos.TagSentence(sents[0]))
+	if p == nil {
+		t.Fatal("parser prep failed")
+	}
+	for i := 1; i < len(p.words); i++ {
+		for _, d := range p.cands[i] {
+			for n := d.left; n != nil; n = n.next {
+				if n.name == cCO || n.name == cCC {
+					t.Errorf("word %q kept coordination connector after pruning", p.words[i].Text)
+				}
+			}
+			for n := d.right; n != nil; n = n.next {
+				if n.name == cCO || n.name == cCC {
+					t.Errorf("word %q kept coordination connector after pruning", p.words[i].Text)
+				}
+			}
+		}
+	}
+}
+
+func TestIdiomTableConsistent(t *testing.T) {
+	in := newInterner()
+	b := &dictBuilder{in: in}
+	for idiom, family := range idioms {
+		if ds := b.idiomDisjuncts(family); len(ds) == 0 {
+			t.Errorf("idiom %q family %q has no disjuncts", idiom, family)
+		}
+	}
+	if ds := b.idiomDisjuncts("nonexistent"); ds != nil {
+		t.Error("unknown family returned disjuncts")
+	}
+}

@@ -1,0 +1,330 @@
+package linkgram
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/pos"
+	"repro/internal/textproc"
+)
+
+// Link is one typed link of a linkage between two parse words, identified
+// by their indices into Linkage.Words.
+type Link struct {
+	Left, Right int
+	Label       string
+}
+
+// ParseWord is one word that took part in the parse, with a back-pointer
+// to the token it came from in the original sentence.
+type ParseWord struct {
+	Text       string
+	Tag        pos.Tag
+	TokenIndex int // index into the sentence's token slice; -1 for the wall
+}
+
+// Linkage is a complete planar, connected linkage of a sentence.
+type Linkage struct {
+	Words []ParseWord // Words[0] is the left wall
+	Links []Link
+}
+
+// ErrNoLinkage is returned when the sentence has no complete linkage; the
+// caller is expected to fall back to the pattern approach, exactly as the
+// paper does for unparseable fragments.
+var ErrNoLinkage = errors.New("linkgram: no complete linkage")
+
+// MaxWords bounds parser input length; longer sentences are rejected
+// immediately (the extractor then uses the pattern fallback).
+const MaxWords = 28
+
+// Parse parses a tagged sentence and returns its first complete linkage.
+func Parse(tagged []pos.TaggedToken) (*Linkage, error) {
+	p := newParser(tagged)
+	if p == nil {
+		return nil, ErrNoLinkage
+	}
+	if !p.feasible(0, len(p.words), p.wallRight, nil) {
+		return nil, ErrNoLinkage
+	}
+	var links []Link
+	if !p.build(0, len(p.words), p.wallRight, nil, &links) {
+		return nil, ErrNoLinkage
+	}
+	return &Linkage{Words: p.words, Links: p.relabel(links)}, nil
+}
+
+// ParseSentence tags and parses a textproc sentence in one call.
+func ParseSentence(s textproc.Sentence) (*Linkage, error) {
+	return Parse(pos.TagSentence(s))
+}
+
+type parser struct {
+	words     []ParseWord // index 0 is the wall; parse positions == indices
+	cands     [][]disjunct
+	in        *interner
+	wallRight *node
+	memo      map[memoKey]bool
+}
+
+type memoKey struct {
+	l, r   int16
+	le, re int32
+}
+
+// newParser prepares parse words, candidate disjuncts, and pruning.
+// It returns nil when the sentence is unparseable a priori.
+func newParser(tagged []pos.TaggedToken) *parser {
+	in := newInterner()
+	b := &dictBuilder{in: in}
+
+	words := []ParseWord{{Text: "LEFT-WALL", TokenIndex: -1}}
+	var cands [][]disjunct
+	cands = append(cands, nil) // wall's disjuncts handled via wallRight
+	for i := 0; i < len(tagged); i++ {
+		t := tagged[i]
+		txt := strings.ToLower(t.Text)
+		// Multi-word idioms parse as one word ("as well as" behaves as a
+		// conjunction).
+		if family, span := matchIdiom(tagged, i); span > 0 {
+			joined := tagged[i].Text
+			for _, xt := range tagged[i+1 : i+span] {
+				joined += " " + xt.Text
+			}
+			words = append(words, ParseWord{Text: joined, Tag: t.Tag, TokenIndex: i})
+			cands = append(cands, b.idiomDisjuncts(family))
+			i += span - 1
+			continue
+		}
+		switch t.Kind {
+		case textproc.Punct, textproc.Symbol:
+			// Keep only coordination punctuation; drop the rest (final
+			// periods, quotes, parens).
+			if txt != "," && txt != ";" {
+				continue
+			}
+		}
+		ds := b.disjunctsFor(t.Text, t.Tag)
+		if ds == nil {
+			// A word with no connector candidates (interjections) makes a
+			// full linkage impossible.
+			if t.Kind == textproc.Word || t.Kind == textproc.Number {
+				return nil
+			}
+			continue
+		}
+		words = append(words, ParseWord{Text: t.Text, Tag: t.Tag, TokenIndex: i})
+		cands = append(cands, ds)
+	}
+	if len(words) <= 1 || len(words) > MaxWords {
+		return nil
+	}
+	p := &parser{
+		words:     words,
+		cands:     cands,
+		in:        in,
+		wallRight: in.fromNearFirst([]string{cW}),
+		memo:      make(map[memoKey]bool),
+	}
+	p.prune()
+	return p
+}
+
+// matchIdiom reports the idiom family and token span when the tokens at
+// position i start a known multi-word idiom.
+func matchIdiom(tagged []pos.TaggedToken, i int) (string, int) {
+	for idiom, family := range idioms {
+		parts := strings.Fields(idiom)
+		if i+len(parts) > len(tagged) {
+			continue
+		}
+		ok := true
+		for j, p := range parts {
+			if !strings.EqualFold(tagged[i+j].Text, p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return family, len(parts)
+		}
+	}
+	return "", 0
+}
+
+// prune repeatedly drops disjuncts with a connector that cannot match any
+// connector of any other word on the required side ("power pruning").
+func (p *parser) prune() {
+	for pass := 0; pass < 6; pass++ {
+		// rightAvail[name] = true if some word offers name right-pointing
+		// (including the wall). leftAvail likewise.
+		rightAvail := map[string]bool{cW: true}
+		leftAvail := map[string]bool{}
+		for i := 1; i < len(p.words); i++ {
+			for _, d := range p.cands[i] {
+				for n := d.right; n != nil; n = n.next {
+					rightAvail[n.name] = true
+				}
+				for n := d.left; n != nil; n = n.next {
+					leftAvail[n.name] = true
+				}
+			}
+		}
+		changed := false
+		for i := 1; i < len(p.words); i++ {
+			kept := p.cands[i][:0]
+			for _, d := range p.cands[i] {
+				ok := true
+				for n := d.left; n != nil && ok; n = n.next {
+					ok = rightAvail[n.name]
+				}
+				for n := d.right; n != nil && ok; n = n.next {
+					ok = leftAvail[n.name]
+				}
+				if ok {
+					kept = append(kept, d)
+				} else {
+					changed = true
+				}
+			}
+			p.cands[i] = kept
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// feasible implements the Sleator–Temperley region count as a boolean:
+// can the region strictly between words L and R be completed, where le is
+// the list of L's remaining right connectors (farthest-first) and re is
+// the list of R's remaining left connectors (farthest-first)? R ==
+// len(words) is the right sentinel with no connectors.
+func (p *parser) feasible(L, R int, le, re *node) bool {
+	if L+1 == R {
+		return le == nil && re == nil
+	}
+	key := memoKey{l: int16(L), r: int16(R), le: listID(le), re: listID(re)}
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	p.memo[key] = false // guard against (impossible) cycles
+	res := p.anyWord(L, R, le, re, nil)
+	p.memo[key] = res
+	return res
+}
+
+// anyWord enumerates the splitting word W and its disjuncts. When out is
+// non-nil it records the links of the first solution found and returns
+// after completing it. The enumeration considers:
+//
+//	case A: W links to L via le.head ↔ d.left.head, then either also links
+//	        to R (A1) or not (A2);
+//	case B: le is empty and W links to R via d.right.head ↔ re.head, with
+//	        the left sub-region closed by W's remaining left connectors.
+//
+// Choosing W as the target of le's farthest connector (case A) or, when
+// le is empty, of re's farthest connector (case B) makes every linkage
+// counted exactly once.
+func (p *parser) anyWord(L, R int, le, re *node, out *[]Link) bool {
+	for W := L + 1; W < R; W++ {
+		for _, d := range p.cands[W] {
+			// Case A: W ↔ L.
+			if le != nil && d.left != nil && match(le.name, d.left.name) {
+				if p.feasible(L, W, le.next, d.left.next) {
+					// A1: W also links to R.
+					if re != nil && d.right != nil && match(d.right.name, re.name) &&
+						p.feasible(W, R, d.right.next, re.next) {
+						if out == nil {
+							return true
+						}
+						*out = append(*out, Link{Left: L, Right: W, Label: le.name}, Link{Left: W, Right: R, Label: re.name})
+						if p.build(L, W, le.next, d.left.next, out) && p.build(W, R, d.right.next, re.next, out) {
+							return true
+						}
+						return false
+					}
+					// A2: W does not link directly to R.
+					if p.feasible(W, R, d.right, re) {
+						if out == nil {
+							return true
+						}
+						*out = append(*out, Link{Left: L, Right: W, Label: le.name})
+						if p.build(L, W, le.next, d.left.next, out) && p.build(W, R, d.right, re, out) {
+							return true
+						}
+						return false
+					}
+				}
+			}
+			// Case B: le empty; W links to R.
+			if le == nil && re != nil && d.right != nil && match(d.right.name, re.name) {
+				if p.feasible(L, W, nil, d.left) && p.feasible(W, R, d.right.next, re.next) {
+					if out == nil {
+						return true
+					}
+					*out = append(*out, Link{Left: W, Right: R, Label: re.name})
+					if p.build(L, W, nil, d.left, out) && p.build(W, R, d.right.next, re.next, out) {
+						return true
+					}
+					return false
+				}
+			}
+		}
+	}
+	return false
+}
+
+// build reconstructs the links of one feasible solution for the region.
+// It must only be called on feasible regions.
+func (p *parser) build(L, R int, le, re *node, out *[]Link) bool {
+	if L+1 == R {
+		return le == nil && re == nil
+	}
+	return p.anyWord(L, R, le, re, out)
+}
+
+// relabel rewrites link labels for presentation: an A link whose left word
+// is a noun becomes AN (noun-noun modifier, as in Figure 1's
+// Blood—AN—pressure), and links incident to the sentinel are dropped.
+func (p *parser) relabel(links []Link) []Link {
+	kept := links[:0]
+	for _, l := range links {
+		if l.Right >= len(p.words) {
+			continue // sentinel link cannot occur, but be safe
+		}
+		if l.Label == cA && p.words[l.Left].Tag.IsNoun() {
+			l.Label = "AN"
+		}
+		kept = append(kept, l)
+	}
+	return kept
+}
+
+// WordIndexForToken returns the parse-word index for a sentence token
+// index, or -1 when the token was dropped before parsing.
+func (lk *Linkage) WordIndexForToken(tokenIndex int) int {
+	for i, w := range lk.Words {
+		if w.TokenIndex == tokenIndex {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the linkage compactly: word list and links.
+func (lk *Linkage) String() string {
+	var b strings.Builder
+	for i, w := range lk.Words {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(w.Text)
+	}
+	b.WriteByte('\n')
+	for _, l := range lk.Links {
+		fmt.Fprintf(&b, "%s(%s, %s) ", l.Label, lk.Words[l.Left].Text, lk.Words[l.Right].Text)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,215 @@
+package ontology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/store"
+)
+
+// Ontology is a loaded medical vocabulary: concepts stored in an embedded
+// store table and indexed by normalized surface string.
+type Ontology struct {
+	db       *store.DB
+	terms    *store.Table // one row per (normalized surface form → CUI)
+	concepts map[string]*Concept
+	coverage float64
+	synonyms bool
+}
+
+// Options control ontology construction for the coverage experiments.
+type Options struct {
+	// Coverage in (0,1] keeps that fraction of concepts (deterministic by
+	// CUI hash). 0 means full coverage.
+	Coverage float64
+	// DisableSynonyms indexes only preferred names, reproducing the
+	// paper's low recall on predefined surgical history ("failures to
+	// recognize the synonyms of predefined surgical terms").
+	DisableSynonyms bool
+	// Path, when non-empty, persists the vocabulary to a store database
+	// file; otherwise the ontology is memory-only.
+	Path string
+}
+
+// termSchema is the vocabulary table: normalized form → concept id.
+func termSchema() store.Schema {
+	return store.Schema{
+		Name: "umls_terms",
+		Columns: []store.Column{
+			{Name: "id", Type: store.TInt},
+			{Name: "norm", Type: store.TString},
+			{Name: "cui", Type: store.TString},
+			{Name: "surface", Type: store.TString},
+			{Name: "preferred", Type: store.TBool},
+		},
+		Primary: 0,
+	}
+}
+
+// New loads the embedded vocabulary with the given options.
+func New(opts Options) (*Ontology, error) {
+	var db *store.DB
+	var err error
+	if opts.Path != "" {
+		db, err = store.Open(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = store.OpenMemory()
+	}
+	tbl, err := db.CreateTable(termSchema())
+	if err != nil {
+		return nil, err
+	}
+	o := &Ontology{
+		db:       db,
+		terms:    tbl,
+		concepts: make(map[string]*Concept, len(seedConcepts)),
+		coverage: opts.Coverage,
+		synonyms: !opts.DisableSynonyms,
+	}
+	id := int64(1)
+	for i := range seedConcepts {
+		c := &seedConcepts[i]
+		if opts.Coverage > 0 && opts.Coverage < 1 && !keepForCoverage(c.CUI, opts.Coverage) {
+			continue
+		}
+		o.concepts[c.CUI] = c
+		forms := []string{c.Preferred}
+		if o.synonyms {
+			forms = append(forms, c.Synonyms...)
+		}
+		for fi, f := range forms {
+			norm := lexicon.Normalize(f)
+			if norm == "" {
+				continue
+			}
+			row := store.Row{
+				store.Int(id),
+				store.Str(norm),
+				store.Str(c.CUI),
+				store.Str(f),
+				store.Bool(fi == 0),
+			}
+			if err := tbl.Insert(row); err != nil {
+				return nil, fmt.Errorf("ontology: load %q: %w", f, err)
+			}
+			id++
+		}
+	}
+	if err := tbl.CreateIndex("norm"); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// MustNew is New for tests and examples; it panics on error.
+func MustNew(opts Options) *Ontology {
+	o, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Close releases the underlying store.
+func (o *Ontology) Close() error { return o.db.Close() }
+
+// Len returns the number of loaded concepts.
+func (o *Ontology) Len() int { return len(o.concepts) }
+
+// TermCount returns the number of indexed surface forms.
+func (o *Ontology) TermCount() int { return o.terms.Len() }
+
+// Lookup finds the concept for a candidate surface term. The term is
+// normalized (lemma of each word, words sorted alphabetically — §3.2)
+// before the index probe. It returns nil when the term is unknown.
+func (o *Ontology) Lookup(term string) *Concept {
+	norm := lexicon.Normalize(term)
+	if norm == "" {
+		return nil
+	}
+	return o.lookupNorm(norm)
+}
+
+// LookupWords is Lookup for a pre-tokenized candidate.
+func (o *Ontology) LookupWords(words []string) *Concept {
+	norm := lexicon.NormalizeWords(words)
+	if norm == "" {
+		return nil
+	}
+	return o.lookupNorm(norm)
+}
+
+func (o *Ontology) lookupNorm(norm string) *Concept {
+	rows, err := o.terms.Lookup("norm", store.Str(norm))
+	if err != nil || len(rows) == 0 {
+		return nil
+	}
+	// Prefer a preferred-name hit when several concepts share a form.
+	best := rows[0]
+	for _, r := range rows {
+		if r[4].B {
+			best = r
+			break
+		}
+	}
+	return o.concepts[best[2].S]
+}
+
+// LookupLinear is the index-ablation baseline: a full-table scan instead
+// of the secondary-index probe.
+func (o *Ontology) LookupLinear(term string) *Concept {
+	norm := lexicon.Normalize(term)
+	if norm == "" {
+		return nil
+	}
+	var found *Concept
+	o.terms.Scan(func(r store.Row) bool {
+		if r[1].S == norm {
+			found = o.concepts[r[2].S]
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Concept returns the concept with the given CUI, or nil.
+func (o *Ontology) Concept(cui string) *Concept {
+	return o.concepts[cui]
+}
+
+// ConceptByName returns the concept whose preferred name is name
+// (case-insensitive), or nil.
+func (o *Ontology) ConceptByName(name string) *Concept {
+	name = strings.ToLower(name)
+	for _, c := range o.concepts {
+		if strings.ToLower(c.Preferred) == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// All returns the full embedded vocabulary (independent of any loaded
+// Ontology's coverage). The corpus generator samples gold conditions and
+// procedures from it.
+func All() []Concept {
+	out := make([]Concept, len(seedConcepts))
+	copy(out, seedConcepts)
+	return out
+}
+
+// keepForCoverage deterministically selects a fraction of concepts by a
+// small string hash of the CUI, so coverage sweeps are reproducible.
+func keepForCoverage(cui string, frac float64) bool {
+	var h uint32 = 2166136261
+	for i := 0; i < len(cui); i++ {
+		h ^= uint32(cui[i])
+		h *= 16777619
+	}
+	return float64(h%1000) < frac*1000
+}

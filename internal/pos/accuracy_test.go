@@ -1,0 +1,123 @@
+package pos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// goldSentence pairs a sentence with hand-assigned tags for its word and
+// number tokens (punctuation skipped). The set covers the clinical
+// dictation shapes the extractors depend on.
+type goldSentence struct {
+	text string
+	tags map[string]Tag // token (lower-cased, first occurrence) → tag
+}
+
+var goldTagged = []goldSentence{
+	{
+		"Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.",
+		map[string]Tag{
+			"blood": NN, "pressure": NN, "is": VBZ, "144/90": CD,
+			"pulse": NN, "of": IN, "84": CD, "temperature": NN,
+			"98.3": CD, "and": CC, "weight": NN, "154": CD, "pounds": NNS,
+		},
+	},
+	{
+		"She quit smoking five years ago.",
+		map[string]Tag{"she": PRP, "quit": VBD, "five": CD, "years": NNS, "ago": IN},
+	},
+	{
+		"Significant for a postoperative CVA after undergoing a cholecystectomy and a midline hernia closure.",
+		map[string]Tag{
+			"significant": JJ, "for": IN, "a": DT, "postoperative": JJ,
+			"cva": NN, "after": IN, "undergoing": VBG,
+			"cholecystectomy": NN, "midline": JJ, "hernia": NN, "closure": NN,
+		},
+	},
+	{
+		"Menarche at age 10, gravida 4, para 3, last menstrual period about a year ago.",
+		map[string]Tag{
+			"menarche": NN, "at": IN, "age": NN, "10": CD, "gravida": NN,
+			"4": CD, "para": NN, "3": CD, "last": JJ, "menstrual": JJ,
+			"period": NN, "year": NN,
+		},
+	},
+	{
+		"Ms. 2 is a 50-year-old woman who underwent a screening mammogram, revealing a solid lesion.",
+		map[string]Tag{
+			"is": VBZ, "woman": NN, "who": PRP, "underwent": VBD,
+			"screening": JJ, "mammogram": NN, "revealing": VBG,
+			"solid": JJ, "lesion": NN,
+		},
+	},
+	{
+		"She has never smoked.",
+		map[string]Tag{"she": PRP, "has": VBZ, "never": RB, "smoked": VBN},
+	},
+	{
+		"Reveals an overweight woman in no apparent distress.",
+		map[string]Tag{
+			"reveals": VBZ, "an": DT, "overweight": JJ, "woman": NN,
+			"in": IN, "no": DT, "apparent": JJ, "distress": NN,
+		},
+	},
+	{
+		"Mother with breast cancer, diagnosed at age 52.",
+		map[string]Tag{
+			"mother": NN, "with": IN, "breast": NN, "cancer": NN,
+			"diagnosed": VBN, "age": NN, "52": CD,
+		},
+	},
+	{
+		"There is no cervical or supraclavicular lymphadenopathy.",
+		map[string]Tag{
+			"there": EX, "is": VBZ, "no": DT, "cervical": JJ, "or": CC,
+			"supraclavicular": JJ, "lymphadenopathy": NN,
+		},
+	},
+	{
+		"Palpation of both breasts shows no dominant lesions.",
+		map[string]Tag{
+			"palpation": NN, "of": IN, "both": DT, "breasts": NNS,
+			"shows": VBZ, "dominant": JJ, "lesions": NNS,
+		},
+	},
+}
+
+// TestTaggerAccuracyOnGoldSet measures token accuracy on the hand-tagged
+// set; the extractors need ≳95% on this sub-language.
+func TestTaggerAccuracyOnGoldSet(t *testing.T) {
+	correct, total := 0, 0
+	for _, gs := range goldTagged {
+		sents := textproc.SplitSentences(gs.text)
+		if len(sents) != 1 {
+			t.Fatalf("%q: %d sentences", gs.text, len(sents))
+		}
+		tagged := TagSentence(sents[0])
+		seen := map[string]bool{}
+		for _, tok := range tagged {
+			w := strings.ToLower(tok.Text)
+			want, ok := gs.tags[w]
+			if !ok || seen[w] {
+				continue
+			}
+			seen[w] = true
+			total++
+			if tok.Tag == want {
+				correct++
+			} else {
+				t.Logf("%q: tag(%s) = %s, want %s", gs.text, w, tok.Tag, want)
+			}
+		}
+	}
+	if total < 60 {
+		t.Fatalf("gold set too small: %d tokens", total)
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("tagger accuracy: %d/%d = %.1f%%", correct, total, 100*acc)
+	if acc < 0.95 {
+		t.Errorf("tagger accuracy %.1f%% below 95%%", 100*acc)
+	}
+}

@@ -1,0 +1,55 @@
+// Package pos implements a rule-based part-of-speech tagger in the style
+// of Brill (lexicon + suffix guesser + contextual repair rules), tuned for
+// the clinical dictation sub-language of the consultation notes. It stands
+// in for the GATE POS tagger the paper uses to drive the POS-pattern
+// medical term extractor (JJ NN NN / NN NN / JJ NN / NN) and the ID3
+// feature-extraction options (choose verbs, nouns, adjectives, adverbs).
+package pos
+
+// Tag is a Penn-Treebank-style part of speech tag (the subset the IE
+// system needs).
+type Tag string
+
+// The tag inventory.
+const (
+	NN  Tag = "NN"   // singular noun
+	NNS Tag = "NNS"  // plural noun
+	NNP Tag = "NNP"  // proper noun
+	JJ  Tag = "JJ"   // adjective
+	VB  Tag = "VB"   // verb, base form
+	VBD Tag = "VBD"  // verb, past tense
+	VBZ Tag = "VBZ"  // verb, 3rd person singular present
+	VBP Tag = "VBP"  // verb, non-3rd person present
+	VBG Tag = "VBG"  // verb, gerund
+	VBN Tag = "VBN"  // verb, past participle
+	RB  Tag = "RB"   // adverb
+	IN  Tag = "IN"   // preposition / subordinating conjunction
+	DT  Tag = "DT"   // determiner
+	CC  Tag = "CC"   // coordinating conjunction
+	CD  Tag = "CD"   // cardinal number
+	PRP Tag = "PRP"  // personal pronoun
+	PRS Tag = "PRP$" // possessive pronoun
+	MD  Tag = "MD"   // modal
+	TO  Tag = "TO"   // "to"
+	EX  Tag = "EX"   // existential "there"
+	UH  Tag = "UH"   // interjection
+	SYM Tag = "SYM"  // symbol / punctuation
+)
+
+// IsNoun reports whether the tag is any noun tag.
+func (t Tag) IsNoun() bool { return t == NN || t == NNS || t == NNP }
+
+// IsVerb reports whether the tag is any verb tag.
+func (t Tag) IsVerb() bool {
+	switch t {
+	case VB, VBD, VBZ, VBP, VBG, VBN:
+		return true
+	}
+	return false
+}
+
+// IsAdjective reports whether the tag is an adjective tag.
+func (t Tag) IsAdjective() bool { return t == JJ }
+
+// IsAdverb reports whether the tag is an adverb tag.
+func (t Tag) IsAdverb() bool { return t == RB }

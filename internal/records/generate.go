@@ -1,0 +1,528 @@
+package records
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// GenOptions control the synthetic corpus generator.
+type GenOptions struct {
+	// N is the number of records (the paper uses 50).
+	N int
+	// Seed drives all sampling; the same seed reproduces the same corpus.
+	Seed int64
+	// StyleDiversity in [0,1] is the probability that a slot is rendered
+	// with a non-canonical phrasing. 0 reproduces the paper's single
+	// consistent dictator; higher values emulate "more diversified
+	// writing styles", which the paper predicts degrade performance.
+	StyleDiversity float64
+	// NegationNoiseProb is the per-record probability that a history
+	// section mentions a negated condition ("No history of stroke."),
+	// the main false-positive mode of a system without negation handling.
+	NegationNoiseProb float64
+	// OOVTermProb is the per-record probability that a gold history term
+	// comes from outside the ontology (coded by the human, unreachable by
+	// the system), the main false-negative mode.
+	OOVTermProb float64
+	// SynonymSurfaceProbMedical and SynonymSurfaceProbSurgical are the
+	// probabilities a history term is dictated as a synonym rather than
+	// its preferred name ("gallbladder removal" for cholecystectomy).
+	// Clinicians name conditions canonically but describe procedures
+	// colloquially, which is the asymmetry behind Table 1's high
+	// predefined-medical scores versus 35% predefined-surgical recall.
+	SynonymSurfaceProbMedical  float64
+	SynonymSurfaceProbSurgical float64
+}
+
+// DefaultGenOptions mirrors the paper's corpus regime: 50 records, one
+// dictation style, modest noise rates tuned to land in Table 1's range.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{
+		N:                          50,
+		Seed:                       2005, // ICDE 2005
+		StyleDiversity:             0,
+		NegationNoiseProb:          0.35,
+		OOVTermProb:                0.30,
+		SynonymSurfaceProbMedical:  0.08,
+		SynonymSurfaceProbSurgical: 0.70,
+	}
+}
+
+// outOfVocabulary are conditions/procedures a human coder records but the
+// ontology does not contain.
+var oovMedical = []string{
+	"chronic fatigue syndrome", "restless leg syndrome",
+	"meniere disease", "temporomandibular joint disorder",
+}
+
+var oovSurgical = []string{
+	"jaw realignment surgery", "scar revision",
+	"ganglion cyst excision",
+}
+
+// generator bundles the RNG and concept pools.
+type generator struct {
+	rng         *rand.Rand
+	opts        GenOptions
+	diseases    []ontology.Concept
+	procedures  []ontology.Concept
+	medications []ontology.Concept
+}
+
+// Generate produces a deterministic synthetic corpus.
+func Generate(opts GenOptions) []Record {
+	if opts.N <= 0 {
+		opts.N = 50
+	}
+	g := &generator{rng: rand.New(rand.NewSource(opts.Seed)), opts: opts}
+	for _, c := range ontology.All() {
+		switch c.Type {
+		case ontology.Disease:
+			g.diseases = append(g.diseases, c)
+		case ontology.Procedure:
+			g.procedures = append(g.procedures, c)
+		case ontology.Medication:
+			g.medications = append(g.medications, c)
+		}
+	}
+	// Class quotas proportional to the paper's: of 50 records, 28 never,
+	// 12 current, 5 former, 5 without smoking information.
+	smokingPlan := quotaPlan(opts.N, map[string]float64{
+		SmokingNever:   28.0 / 50,
+		SmokingCurrent: 12.0 / 50,
+		SmokingFormer:  5.0 / 50,
+		"":             5.0 / 50,
+	})
+	alcoholPlan := quotaPlan(opts.N, map[string]float64{
+		AlcoholNever:  0.30,
+		AlcoholSocial: 0.40,
+		AlcoholLight:  0.20,
+		AlcoholHeavy:  0.10,
+	})
+	shapePlan := quotaPlan(opts.N, map[string]float64{
+		ShapeThin:       0.10,
+		ShapeNormal:     0.40,
+		ShapeOverweight: 0.35,
+		ShapeObese:      0.15,
+	})
+	familyPlan := quotaPlan(opts.N, map[string]float64{
+		FamilyBCPositive: 0.40,
+		FamilyBCNegative: 0.60,
+	})
+	drugPlan := quotaPlan(opts.N, map[string]float64{
+		DrugUseNone:     0.80,
+		DrugUsePositive: 0.20,
+	})
+	for _, plan := range [][]string{smokingPlan, alcoholPlan, shapePlan, familyPlan, drugPlan} {
+		p := plan
+		g.rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	}
+
+	recs := make([]Record, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		recs = append(recs, g.record(i+1, smokingPlan[i], alcoholPlan[i], shapePlan[i], familyPlan[i], drugPlan[i]))
+	}
+	return recs
+}
+
+// quotaPlan expands class proportions into an exact assignment of n slots.
+func quotaPlan(n int, proportions map[string]float64) []string {
+	type pair struct {
+		class string
+		want  float64
+	}
+	var ps []pair
+	for c, p := range proportions {
+		ps = append(ps, pair{c, p * float64(n)})
+	}
+	// Deterministic order.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].class < ps[j-1].class; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	plan := make([]string, 0, n)
+	for _, p := range ps {
+		k := int(p.want + 0.5)
+		for i := 0; i < k && len(plan) < n; i++ {
+			plan = append(plan, p.class)
+		}
+	}
+	for len(plan) < n {
+		plan = append(plan, ps[0].class)
+	}
+	return plan[:n]
+}
+
+// pick returns a canonical phrasing or, with probability StyleDiversity,
+// one of the alternates.
+func (g *generator) pick(canonical string, alternates ...string) string {
+	if len(alternates) > 0 && g.rng.Float64() < g.opts.StyleDiversity {
+		return alternates[g.rng.Intn(len(alternates))]
+	}
+	return canonical
+}
+
+func (g *generator) record(id int, smoking, alcohol, shape, familyBC, drugUse string) Record {
+	gold := Gold{
+		Numeric: map[string]NumValue{},
+		Smoking: smoking, Alcohol: alcohol, Shape: shape,
+		FamilyBC: familyBC, DrugUse: drugUse,
+	}
+
+	age := float64(30 + g.rng.Intn(46))
+	menarche := float64(9 + g.rng.Intn(8))
+	gravida := float64(g.rng.Intn(7))
+	para := gravida
+	if gravida > 0 {
+		para = float64(g.rng.Intn(int(gravida) + 1))
+	}
+	sys := float64(100 + 2*g.rng.Intn(41))
+	dia := float64(60 + 2*g.rng.Intn(21))
+	pulse := float64(60 + g.rng.Intn(51))
+	weight := float64(100 + g.rng.Intn(151))
+
+	gold.Numeric[AttrAge] = NumValue{Value: age}
+	gold.Numeric[AttrMenarche] = NumValue{Value: menarche}
+	gold.Numeric[AttrGravida] = NumValue{Value: gravida}
+	gold.Numeric[AttrPara] = NumValue{Value: para}
+	gold.Numeric[AttrBloodPressure] = NumValue{Value: sys, Value2: dia}
+	gold.Numeric[AttrPulse] = NumValue{Value: pulse}
+	gold.Numeric[AttrWeight] = NumValue{Value: weight}
+
+	var firstBirth float64
+	if para >= 1 {
+		firstBirth = float64(16 + g.rng.Intn(20))
+		gold.Numeric[AttrFirstBirthAge] = NumValue{Value: firstBirth}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Patient:  %d\n", id)
+	b.WriteString("Chief Complaint:  " + g.pick(
+		"Abnormal mammogram.",
+		"Palpable breast mass.",
+		"Breast pain.",
+	) + "\n")
+	fmt.Fprintf(&b, "History of Present Illness:  Ms. %d is a %.0f-year-old woman who underwent a screening mammogram, revealing %s.  She was referred for further management.  Her breast history is negative for any previous biopsies or masses.\n",
+		id, age, g.pick("a solid lesion as well as an abnormal calcification", "a suspicious density", "an area of abnormal calcification"))
+
+	// GYN history: four numeric attributes in one fragment sentence.
+	gyn := fmt.Sprintf("Menarche at age %.0f, gravida %.0f, para %.0f, last menstrual period about a year ago.", menarche, gravida, para)
+	if g.opts.StyleDiversity > 0 && g.rng.Float64() < g.opts.StyleDiversity {
+		gyn = fmt.Sprintf("Menarche age %.0f. G%.0f P%.0f. LMP about a year ago.", menarche, gravida, para)
+	}
+	if para >= 1 {
+		gyn += fmt.Sprintf("  First live birth at age %.0f.", firstBirth)
+	}
+	b.WriteString("GYN History:  " + gyn + "\n")
+
+	// Past medical history.
+	medTerms, medText := g.historyTerms(g.diseases, oovMedical, 2+g.rng.Intn(5), g.opts.SynonymSurfaceProbMedical)
+	gold.PastMedical = medTerms
+	pmh := "Significant for " + medText + "."
+	if g.rng.Float64() < g.opts.NegationNoiseProb {
+		neg := g.negationTarget(g.diseases, ontology.PredefinedMedical, medTerms)
+		pmh += "  No history of " + neg + "."
+	}
+	b.WriteString("Past Medical History:  " + pmh + "\n")
+
+	// Past surgical history.
+	nSurg := g.rng.Intn(4)
+	if nSurg == 0 {
+		gold.PastSurgical = nil
+		b.WriteString("Past Surgical History:  None.\n")
+	} else {
+		surgTerms, surgText := g.historyTerms(g.procedures, oovSurgical, nSurg, g.opts.SynonymSurfaceProbSurgical)
+		gold.PastSurgical = surgTerms
+		psh := capitalize(surgText) + "."
+		if g.rng.Float64() < g.opts.NegationNoiseProb {
+			neg := g.negationTarget(g.procedures, ontology.PredefinedSurgical, surgTerms)
+			psh += "  Denies any prior " + neg + "."
+		}
+		b.WriteString("Past Surgical History:  " + psh + "\n")
+	}
+
+	// Medications: a gold-driven list sampled from the vocabulary.
+	nMeds := g.rng.Intn(7)
+	if nMeds == 0 {
+		b.WriteString("Medications:  None.\n")
+	} else {
+		medGold, medText := g.historyTerms(g.medications, nil, nMeds, 0.15)
+		gold.Medications = medGold
+		b.WriteString("Medications:  " + capitalize(medText) + ".\n")
+	}
+	b.WriteString("Allergies:  " + g.pick(
+		"Penicillin, ACE inhibitors, and latex.",
+		"No known drug allergies.",
+	) + "\n")
+
+	// Social history drives the categorical experiments.
+	b.WriteString("Social History:  " + g.socialHistory(smoking, alcohol, drugUse) + "\n")
+
+	b.WriteString("Family History:  " + g.familyHistory(familyBC) + "\n")
+	b.WriteString("Review of Systems:  " + g.pick(
+		"Significant for back pain and arthritis complaints.  Remainder of the review of systems is negative.",
+		"Negative.",
+	) + "\n")
+
+	fmt.Fprintf(&b, "Physical examination:  Reveals %s woman in no apparent distress.\n", shapeArticlePhrase(shape))
+
+	// Vitals: three numeric attributes in the Figure 1 sentence shape.
+	vitals := fmt.Sprintf("Blood pressure is %.0f/%.0f, pulse of %.0f, and weight of %.0f.", sys, dia, pulse, weight)
+	if g.opts.StyleDiversity > 0 && g.rng.Float64() < g.opts.StyleDiversity {
+		switch g.rng.Intn(5) {
+		case 0:
+			vitals = fmt.Sprintf("Blood pressure: %.0f/%.0f.  Pulse: %.0f.  Weight: %.0f pounds.", sys, dia, pulse, weight)
+		case 1:
+			vitals = fmt.Sprintf("BP %.0f/%.0f, heart rate %.0f, weight %.0f pounds.", sys, dia, pulse, weight)
+		case 2:
+			vitals = fmt.Sprintf("Weight is %.0f pounds with a pulse of %.0f and blood pressure of %.0f/%.0f.", weight, pulse, sys, dia)
+		case 3:
+			// Defeats the shallow patterns (keyword and number separated
+			// by a verb group) but parses cleanly.
+			vitals = fmt.Sprintf("Her weight was measured at %.0f pounds, her pulse was noted at %.0f, and her blood pressure was recorded at %.0f/%.0f.", weight, pulse, sys, dia)
+		case 4:
+			// Defeats patterns and token proximity (an intervening number
+			// sits closer to the keyword than the true value).
+			vitals = fmt.Sprintf("Pulse, noted after resting for 5 minutes, was %.0f.  Blood pressure is %.0f/%.0f and weight is %.0f.", pulse, sys, dia, weight)
+		}
+	}
+	b.WriteString("Vitals:  " + vitals + "\n")
+
+	b.WriteString("HEENT:  PERRLA.\n")
+	b.WriteString("Neck:  There is no cervical or supraclavicular lymphadenopathy.\n")
+	b.WriteString("Chest:  Clear to auscultation anteriorly, posteriorly, and bilaterally.\n")
+	b.WriteString("Heart:  S1 S2, regular, and no murmurs.\n")
+	b.WriteString("Abdomen:  Soft, nontender, and no masses.\n")
+	b.WriteString("Examination of Breasts:  " + g.pick(
+		"Shows good symmetry bilaterally.  Palpation of both breasts shows no dominant lesions.  There is no axillary adenopathy.",
+		"Symmetric, no dominant lesions, no axillary adenopathy.",
+	) + "\n")
+
+	return Record{ID: id, Text: b.String(), Gold: gold}
+}
+
+// negationTarget picks a concept to mention negated, avoiding concepts
+// already asserted positively and strongly preferring non-predefined
+// ones (clinicians rarely dictate "denies appendectomy"; they deny the
+// long tail).
+func (g *generator) negationTarget(pool []ontology.Concept, predefined, asserted []string) string {
+	for attempt := 0; ; attempt++ {
+		c := pool[g.rng.Intn(len(pool))].Preferred
+		if contains(asserted, c) {
+			continue
+		}
+		if attempt < 1 && contains(predefined, c) {
+			continue
+		}
+		return c
+	}
+}
+
+// historyTerms samples n gold terms, rendering each as preferred name or
+// synonym, with an optional out-of-vocabulary extra. It returns the gold
+// preferred names and the rendered comma list.
+func (g *generator) historyTerms(pool []ontology.Concept, oov []string, n int, synProb float64) (gold []string, text string) {
+	perm := g.rng.Perm(len(pool))
+	var surfaces []string
+	for _, pi := range perm[:min(n, len(pool))] {
+		c := pool[pi]
+		gold = append(gold, c.Preferred)
+		surface := c.Preferred
+		if len(c.Synonyms) > 0 && g.rng.Float64() < synProb {
+			surface = c.Synonyms[g.rng.Intn(len(c.Synonyms))]
+		}
+		surfaces = append(surfaces, surface)
+	}
+	if len(oov) > 0 && g.rng.Float64() < g.opts.OOVTermProb {
+		t := oov[g.rng.Intn(len(oov))]
+		gold = append(gold, t)
+		surfaces = append(surfaces, t)
+	}
+	return gold, commaList(surfaces)
+}
+
+// socialHistory renders the smoking and alcohol sentences. Phrasing pools
+// per class deliberately share vocabulary across classes (as real
+// dictation does), which is what keeps the ID3 classifier below 100%.
+// familyHistory renders the family-history section consistently with the
+// binary gold label.
+func (g *generator) familyHistory(familyBC string) string {
+	if familyBC == FamilyBCPositive {
+		return g.pickStyled([]string{
+			"Mother with breast cancer, diagnosed at age 52.  No other family members with cancers.",
+			"Maternal aunt with breast cancer.",
+			"Sister with breast cancer diagnosed at age 45.",
+			"Positive for breast cancer in her mother.",
+		}, []string{
+			"Strong family history of breast cancer.",
+			"Grandmother had breast cancer.",
+		})
+	}
+	return g.pickStyled([]string{
+		"Negative for breast cancer.",
+		"No family history of breast cancer.",
+		"No family members with cancers.",
+		"Noncontributory.",
+	}, []string{
+		"Family history is unremarkable.",
+	})
+}
+
+func (g *generator) socialHistory(smoking, alcohol, drugUse string) string {
+	var parts []string
+	switch smoking {
+	case SmokingNever:
+		parts = append(parts, g.pickStyled([]string{
+			"She has never smoked.",
+			"She denies tobacco use.",
+			"No tobacco use.",
+			"Denies smoking.",
+			"Never a smoker.",
+			"No smoking history.",
+		}, []string{
+			"Nonsmoker.",
+			"She does not smoke.",
+			"Negative for cigarette use.",
+		}))
+	case SmokingFormer:
+		parts = append(parts, g.pickStyled([]string{
+			"She quit smoking five years ago.",
+			"Former smoker, quit ten years ago.",
+			"She stopped smoking in 1995.",
+			"Smoking history of 20 years, quit five years ago.",
+			"Former smoker.",
+			"Smoked for 15 years.", // no quit marker: genuinely confusable with current
+		}, []string{
+			"Smoked in the past.",
+			"Tobacco use in the remote past.",
+			"Cigarette use ended years ago.",
+		}))
+	case SmokingCurrent:
+		parts = append(parts, g.pickStyled([]string{
+			"She is currently a smoker.",
+			"Smoking history, 15 years.",
+			"She smokes one pack per day.",
+			"Current smoker for 20 years.",
+			"Smokes half a pack per day.",
+			"Smoking, one pack per day.",
+		}, []string{
+			"Positive for tobacco.",
+			"Smoker.",
+			"Half a pack per day habit.",
+		}))
+	}
+	switch alcohol {
+	case AlcoholNever:
+		parts = append(parts, g.pickAny(
+			"She denies alcohol use.",
+			"No alcohol use.",
+		))
+	case AlcoholSocial:
+		parts = append(parts, g.pickAny(
+			"Alcohol use, occasional.",
+			"Social alcohol use.",
+			"Drinks socially.",
+		))
+	case AlcoholLight:
+		parts = append(parts, g.pickAny(
+			"Alcohol use 1-2 days per week.",
+			"She drinks 1-2 days per week.",
+			"Drinks one or two days per week.",
+		))
+	case AlcoholHeavy:
+		parts = append(parts, g.pickAny(
+			"Alcohol use 4 days per week.",
+			"She drinks 3 to 5 days per week.",
+			"Drinks 4 days per week.",
+		))
+	}
+	switch drugUse {
+	case DrugUsePositive:
+		parts = append(parts, g.pickStyled([]string{
+			"Drug use, significant for marijuana.",
+			"Occasional marijuana use.",
+		}, []string{
+			"Positive for recreational drug use.",
+		}))
+	case DrugUseNone:
+		parts = append(parts, g.pickStyled([]string{
+			"Drug use, none.",
+			"No recreational drug use.",
+		}, []string{
+			"Denies drug use.",
+		}))
+	}
+	return strings.Join(parts, "  ")
+}
+
+// pickAny chooses uniformly among phrasings (the per-class variation that
+// exists even with one dictator).
+func (g *generator) pickAny(options ...string) string {
+	return options[g.rng.Intn(len(options))]
+}
+
+// pickStyled chooses from the dictator's usual pool, or — with
+// probability StyleDiversity — from the union with rarer phrasings other
+// writers would use.
+func (g *generator) pickStyled(base, extra []string) string {
+	if g.opts.StyleDiversity > 0 && g.rng.Float64() < g.opts.StyleDiversity {
+		all := make([]string, 0, len(base)+len(extra))
+		all = append(all, base...)
+		all = append(all, extra...)
+		return all[g.rng.Intn(len(all))]
+	}
+	return base[g.rng.Intn(len(base))]
+}
+
+func shapeArticlePhrase(shape string) string {
+	switch shape {
+	case ShapeThin:
+		return "a thin"
+	case ShapeOverweight:
+		return "an overweight"
+	case ShapeObese:
+		return "an obese"
+	default:
+		return "a well-developed, well-nourished"
+	}
+}
+
+func commaList(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	case 2:
+		return items[0] + " and " + items[1]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + ", and " + items[len(items)-1]
+	}
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+// Package records models semi-structured clinical consultation notes and
+// generates the synthetic corpus that substitutes for the paper's fifty
+// proprietary breast-clinic records. Records follow the exact section
+// layout of the paper's appendix; gold annotations (the "medical
+// student's independent manual processing") are emitted by construction.
+package records
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Numeric attribute names. These are the paper's eight numeric attributes
+// of interest; blood pressure is one attribute with two components.
+const (
+	AttrAge           = "age"
+	AttrMenarche      = "menarche age"
+	AttrGravida       = "gravida"
+	AttrPara          = "para"
+	AttrFirstBirthAge = "first live birth age"
+	AttrBloodPressure = "blood pressure"
+	AttrPulse         = "pulse"
+	AttrWeight        = "weight"
+)
+
+// NumericAttrs lists the eight numeric attributes in report order.
+var NumericAttrs = []string{
+	AttrAge, AttrMenarche, AttrGravida, AttrPara,
+	AttrFirstBirthAge, AttrBloodPressure, AttrPulse, AttrWeight,
+}
+
+// Categorical attribute values.
+const (
+	SmokingNever   = "never"
+	SmokingFormer  = "former"
+	SmokingCurrent = "current"
+
+	AlcoholNever  = "never"
+	AlcoholSocial = "social"
+	AlcoholLight  = "1-2 day per week"
+	AlcoholHeavy  = ">2 day per week"
+
+	ShapeThin       = "thin"
+	ShapeNormal     = "normal"
+	ShapeOverweight = "overweight"
+	ShapeObese      = "obese"
+
+	// Binary categorical attributes (six of the paper's twelve
+	// categorical attributes are binary classifications; the paper left
+	// them unfinished — we implement two representatives).
+	FamilyBCPositive = "positive"
+	FamilyBCNegative = "negative"
+
+	DrugUseNone     = "none"
+	DrugUsePositive = "positive"
+)
+
+// NumValue is a numeric gold value; ratio attributes (blood pressure)
+// carry a second component.
+type NumValue struct {
+	Value  float64 `json:"value"`
+	Value2 float64 `json:"value2,omitempty"` // diastolic for blood pressure
+}
+
+// Gold is the reference annotation for one record: every attribute the
+// extraction system is evaluated on.
+type Gold struct {
+	Numeric      map[string]NumValue `json:"numeric"`
+	PastMedical  []string            `json:"past_medical"`  // preferred concept names
+	PastSurgical []string            `json:"past_surgical"` // preferred concept names
+	Medications  []string            `json:"medications"`   // preferred concept names
+	Smoking      string              `json:"smoking"`       // "" when the record has no smoking information
+	Alcohol      string              `json:"alcohol"`       // "" when absent
+	Shape        string              `json:"shape"`
+	FamilyBC     string              `json:"family_bc"` // family history of breast cancer: positive/negative
+	DrugUse      string              `json:"drug_use"`  // none/positive
+}
+
+// Record is one consultation note with its gold annotation.
+type Record struct {
+	ID   int    `json:"id"`
+	Text string `json:"text"`
+	Gold Gold   `json:"gold"`
+}
+
+// SplitPredefined partitions a gold term list into (predefined, other)
+// against a predefined attribute list, mirroring the paper's four
+// medical-term attributes.
+func SplitPredefined(terms, predefined []string) (pre, other []string) {
+	preSet := map[string]bool{}
+	for _, p := range predefined {
+		preSet[p] = true
+	}
+	for _, t := range terms {
+		if preSet[t] {
+			pre = append(pre, t)
+		} else {
+			other = append(other, t)
+		}
+	}
+	sort.Strings(pre)
+	sort.Strings(other)
+	return pre, other
+}
+
+// WriteCorpus writes each record text as patientNNN.txt plus a gold.json
+// with all annotations, mirroring the paper's "patient records for input
+// are stored in separate ASCII text files".
+func WriteCorpus(dir string, recs []Record) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		name := filepath.Join(dir, fmt.Sprintf("patient%03d.txt", r.ID))
+		if err := os.WriteFile(name, []byte(r.Text), 0o644); err != nil {
+			return err
+		}
+	}
+	golds, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "gold.json"), golds, 0o644)
+}
+
+// ReadCorpus loads a corpus written by WriteCorpus.
+func ReadCorpus(dir string) ([]Record, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "gold.json"))
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Compact rewrites the write-ahead log so it contains exactly the live
+// state (one create-table record per table, one insert per live row),
+// dropping superseded inserts and deletes. The rewrite goes to a
+// temporary file that atomically replaces the log, so a crash during
+// compaction leaves either the old or the new log intact.
+//
+// Long-running deployments of the extraction pipeline append one insert
+// per extracted attribute; compaction bounds recovery time.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil // in-memory databases have nothing to compact
+	}
+	tmpPath := db.path + ".compact"
+	tmp, err := openWAL(tmpPath)
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		tmp.close()
+		os.Remove(tmpPath)
+	}
+
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortKeys(names)
+	for _, name := range names {
+		t := db.tables[name]
+		s := t.schema
+		payload := []byte{opCreateTable}
+		payload = appendString(payload, s.Name)
+		payload = append(payload, byte(len(s.Columns)), byte(s.Primary))
+		for _, c := range s.Columns {
+			payload = appendString(payload, c.Name)
+			payload = append(payload, byte(c.Type))
+		}
+		if err := tmp.append(payload); err != nil {
+			cleanup()
+			return err
+		}
+		var insertErr error
+		t.primary.Ascend(func(_ []byte, val interface{}) bool {
+			p := []byte{opInsert}
+			p = appendString(p, s.Name)
+			p = encodeRow(p, val.(Row))
+			if err := tmp.append(p); err != nil {
+				insertErr = err
+				return false
+			}
+			return true
+		})
+		if insertErr != nil {
+			cleanup()
+			return insertErr
+		}
+	}
+	if err := tmp.sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+
+	// Swap: close the old log, rename, reopen for appending.
+	if err := db.log.close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, db.path); err != nil {
+		return fmt.Errorf("store: compact rename: %w (database closed; reopen to recover)", err)
+	}
+	l, err := openWAL(db.path)
+	if err != nil {
+		return err
+	}
+	if _, err := l.replay(func([]byte) error { return nil }); err != nil {
+		l.close()
+		return err
+	}
+	db.log = l
+	return nil
+}
+
+// LogSize returns the current size of the write-ahead log in bytes
+// (0 for in-memory databases).
+func (db *DB) LogSize() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.log == nil {
+		return 0
+	}
+	return db.log.len
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DB is an embedded database: a set of tables durably backed by one
+// write-ahead log file. Open replays the log; a corrupted tail (crash) is
+// truncated.
+type DB struct {
+	mu      sync.RWMutex
+	log     *wal
+	tables  map[string]*Table
+	path    string
+	dropped int // WAL records dropped during recovery
+}
+
+// Open opens (creating if necessary) the database at path.
+func Open(path string) (*DB, error) {
+	l, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{log: l, tables: make(map[string]*Table), path: path}
+	dropped, err := l.replay(db.applyLogRecord)
+	if err != nil {
+		l.close()
+		return nil, err
+	}
+	db.dropped = dropped
+	return db, nil
+}
+
+// OpenMemory returns a database with no durable log: all operations stay
+// in memory. Useful for tests and benchmarks.
+func OpenMemory() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// RecoveredWithLoss reports whether Open had to truncate a corrupt WAL
+// tail.
+func (db *DB) RecoveredWithLoss() bool { return db.dropped > 0 }
+
+// Close flushes and closes the log.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	err := db.log.close()
+	db.log = nil
+	return err
+}
+
+// Sync flushes buffered log records to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	return db.log.sync()
+}
+
+// CreateTable creates a table with the given schema. Creating an existing
+// table with an identical schema is a no-op.
+func (db *DB) CreateTable(s Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[s.Name]; ok {
+		return t, nil
+	}
+	if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
+		return nil, fmt.Errorf("store: invalid schema for table %q", s.Name)
+	}
+	if db.log != nil {
+		payload := []byte{opCreateTable}
+		payload = appendString(payload, s.Name)
+		payload = append(payload, byte(len(s.Columns)), byte(s.Primary))
+		for _, c := range s.Columns {
+			payload = appendString(payload, c.Name)
+			payload = append(payload, byte(c.Type))
+		}
+		if err := db.log.append(payload); err != nil {
+			return nil, err
+		}
+		if err := db.log.flush(); err != nil {
+			return nil, err
+		}
+	}
+	t := db.newTable(s)
+	return t, nil
+}
+
+func (db *DB) newTable(s Schema) *Table {
+	t := &Table{
+		schema:    s,
+		db:        db,
+		primary:   newBtree(),
+		secondary: make(map[string]*btree),
+	}
+	db.tables[s.Name] = t
+	return t
+}
+
+// Table returns the named table, or an error if it does not exist.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists tables in creation-independent sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortKeys(names)
+	return names
+}
+
+// logInsert appends an insert record for the table.
+func (db *DB) logInsert(table string, row Row) error {
+	if db.log == nil {
+		return nil
+	}
+	payload := []byte{opInsert}
+	payload = appendString(payload, table)
+	payload = encodeRow(payload, row)
+	if err := db.log.append(payload); err != nil {
+		return err
+	}
+	return db.log.flush()
+}
+
+// logDelete appends a delete record for the table.
+func (db *DB) logDelete(table string, pk Value) error {
+	if db.log == nil {
+		return nil
+	}
+	payload := []byte{opDelete}
+	payload = appendString(payload, table)
+	payload = encodeRow(payload, Row{pk})
+	if err := db.log.append(payload); err != nil {
+		return err
+	}
+	return db.log.flush()
+}
+
+// applyLogRecord replays one WAL payload into the in-memory state.
+func (db *DB) applyLogRecord(payload []byte) error {
+	if len(payload) == 0 {
+		return ErrCorrupt
+	}
+	op := payload[0]
+	rest := payload[1:]
+	name, rest, err := readString(rest)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opCreateTable:
+		if len(rest) < 2 {
+			return ErrCorrupt
+		}
+		ncols, primary := int(rest[0]), int(rest[1])
+		rest = rest[2:]
+		s := Schema{Name: name, Primary: primary}
+		for i := 0; i < ncols; i++ {
+			var cname string
+			cname, rest, err = readString(rest)
+			if err != nil {
+				return err
+			}
+			if len(rest) < 1 {
+				return ErrCorrupt
+			}
+			s.Columns = append(s.Columns, Column{Name: cname, Type: ColType(rest[0])})
+			rest = rest[1:]
+		}
+		if _, ok := db.tables[name]; !ok {
+			db.newTable(s)
+		}
+	case opInsert:
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay insert into unknown table %q", name)
+		}
+		row, err := decodeRow(rest, len(t.schema.Columns))
+		if err != nil {
+			return err
+		}
+		t.apply(encodeKey(row[t.schema.Primary]), row)
+	case opDelete:
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay delete from unknown table %q", name)
+		}
+		keyRow, err := decodeRow(rest, 1)
+		if err != nil {
+			return err
+		}
+		key := encodeKey(keyRow[0])
+		if v, ok := t.primary.Get(key); ok {
+			t.applyDelete(key, v.(Row))
+		}
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table: its columns and the primary-key column index.
+type Schema struct {
+	Name    string
+	Columns []Column
+	Primary int // index into Columns of the primary key
+}
+
+// colIndex returns the index of the named column, or -1.
+func (s *Schema) colIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// validate checks a row against the schema.
+func (s *Schema) validate(row Row) error {
+	if len(row) != len(s.Columns) {
+		return fmt.Errorf("store: table %s: row has %d values, schema has %d columns", s.Name, len(row), len(s.Columns))
+	}
+	for i, v := range row {
+		if v.Type != s.Columns[i].Type {
+			return fmt.Errorf("%w: column %s is %s, got %s", ErrTypeMism, s.Columns[i].Name, s.Columns[i].Type, v.Type)
+		}
+	}
+	return nil
+}
+
+// Table is an in-memory table backed by the DB's write-ahead log.
+type Table struct {
+	schema    Schema
+	db        *DB
+	primary   *btree            // pk key bytes → Row
+	secondary map[string]*btree // column name → key bytes → map[string]Row (pk-encoded → row)
+}
+
+// Errors returned by table operations.
+var (
+	ErrDuplicate = errors.New("store: duplicate primary key")
+	ErrNotFound  = errors.New("store: not found")
+	ErrNoIndex   = errors.New("store: no index on column")
+	ErrPKChange  = errors.New("store: update may not change the primary key")
+)
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.primary.Len() }
+
+// Insert adds a row. The primary key must be unique.
+func (t *Table) Insert(row Row) error {
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	key := encodeKey(row[t.schema.Primary])
+	if _, exists := t.primary.Get(key); exists {
+		return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
+	}
+	if err := t.db.logInsert(t.schema.Name, row); err != nil {
+		return err
+	}
+	t.apply(key, row)
+	return nil
+}
+
+// apply performs the in-memory insert (used by Insert and WAL replay).
+func (t *Table) apply(key []byte, row Row) {
+	t.primary.Put(key, row)
+	for col, idx := range t.secondary {
+		ci := t.schema.colIndex(col)
+		sk := encodeKey(row[ci])
+		t.indexAdd(idx, sk, key, row)
+	}
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(pk Value) (Row, error) {
+	v, ok := t.primary.Get(encodeKey(pk))
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v.(Row), nil
+}
+
+// Delete removes the row with the given primary key.
+func (t *Table) Delete(pk Value) error {
+	key := encodeKey(pk)
+	v, ok := t.primary.Get(key)
+	if !ok {
+		return ErrNotFound
+	}
+	if err := t.db.logDelete(t.schema.Name, pk); err != nil {
+		return err
+	}
+	t.applyDelete(key, v.(Row))
+	return nil
+}
+
+func (t *Table) applyDelete(key []byte, row Row) {
+	t.primary.Delete(key)
+	for col, idx := range t.secondary {
+		ci := t.schema.colIndex(col)
+		sk := encodeKey(row[ci])
+		t.indexRemove(idx, sk, key)
+	}
+}
+
+// CreateIndex builds a non-unique secondary index on the named column.
+func (t *Table) CreateIndex(col string) error {
+	if t.schema.colIndex(col) < 0 {
+		return fmt.Errorf("store: table %s has no column %s", t.schema.Name, col)
+	}
+	if _, ok := t.secondary[col]; ok {
+		return nil
+	}
+	idx := newBtree()
+	ci := t.schema.colIndex(col)
+	t.primary.Ascend(func(key []byte, val interface{}) bool {
+		row := val.(Row)
+		t.indexAdd(idx, encodeKey(row[ci]), key, row)
+		return true
+	})
+	t.secondary[col] = idx
+	return nil
+}
+
+// postingList is the value type of secondary index entries: the set of
+// rows sharing one indexed value, keyed by primary-key bytes.
+type postingList struct {
+	rows map[string]Row
+}
+
+func (t *Table) indexAdd(idx *btree, sk, pk []byte, row Row) {
+	v, ok := idx.Get(sk)
+	if !ok {
+		v = &postingList{rows: make(map[string]Row, 1)}
+		idx.Put(sk, v)
+	}
+	v.(*postingList).rows[string(pk)] = row
+}
+
+func (t *Table) indexRemove(idx *btree, sk, pk []byte) {
+	if v, ok := idx.Get(sk); ok {
+		pl := v.(*postingList)
+		delete(pl.rows, string(pk))
+		if len(pl.rows) == 0 {
+			idx.Delete(sk)
+		}
+	}
+}
+
+// Lookup returns all rows whose indexed column equals v, using the
+// secondary index on col. The column must have an index.
+func (t *Table) Lookup(col string, v Value) ([]Row, error) {
+	idx, ok := t.secondary[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoIndex, col)
+	}
+	pv, ok := idx.Get(encodeKey(v))
+	if !ok {
+		return nil, nil
+	}
+	pl := pv.(*postingList)
+	rows := make([]Row, 0, len(pl.rows))
+	// Deterministic order: ascending primary key.
+	keys := make([]string, 0, len(pl.rows))
+	for k := range pl.rows {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		rows = append(rows, pl.rows[k])
+	}
+	return rows, nil
+}
+
+// Scan calls fn for every row in ascending primary-key order until fn
+// returns false. It is the linear-scan baseline for the index ablation.
+func (t *Table) Scan(fn func(Row) bool) {
+	t.primary.Ascend(func(_ []byte, val interface{}) bool {
+		return fn(val.(Row))
+	})
+}
+
+// ScanRange calls fn for rows with primary key in [lo, hi).
+func (t *Table) ScanRange(lo, hi Value, fn func(Row) bool) {
+	t.primary.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, val interface{}) bool {
+		return fn(val.(Row))
+	})
+}
+
+// Select returns all rows matching a predicate, by full scan.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	var out []Row
+	t.Scan(func(r Row) bool {
+		if pred(r) {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+func sortKeys(ks []string) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && bytes.Compare([]byte(ks[j]), []byte(ks[j-1])) < 0; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package store
+
+import "bytes"
+
+// Update replaces the row with the given primary key. The new row must
+// carry the same primary key; secondary indexes are maintained. The
+// operation is logged as delete+insert, which replays correctly.
+func (t *Table) Update(pk Value, row Row) error {
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	key := encodeKey(pk)
+	newKey := encodeKey(row[t.schema.Primary])
+	if !bytes.Equal(key, newKey) {
+		return ErrPKChange
+	}
+	old, ok := t.primary.Get(key)
+	if !ok {
+		return ErrNotFound
+	}
+	if err := t.db.logDelete(t.schema.Name, pk); err != nil {
+		return err
+	}
+	if err := t.db.logInsert(t.schema.Name, row); err != nil {
+		return err
+	}
+	t.applyDelete(key, old.(Row))
+	t.apply(key, row)
+	return nil
+}
+
+// Upsert inserts the row, replacing any existing row with the same
+// primary key.
+func (t *Table) Upsert(row Row) error {
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	pk := row[t.schema.Primary]
+	if _, exists := t.primary.Get(encodeKey(pk)); exists {
+		return t.Update(pk, row)
+	}
+	return t.Insert(row)
+}
+
+// LookupRange returns rows whose indexed column value lies in [lo, hi),
+// in ascending (column value, primary key) order. The column must have a
+// secondary index.
+func (t *Table) LookupRange(col string, lo, hi Value) ([]Row, error) {
+	idx, ok := t.secondary[col]
+	if !ok {
+		return nil, ErrNoIndex
+	}
+	var out []Row
+	idx.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, v interface{}) bool {
+		pl := v.(*postingList)
+		keys := make([]string, 0, len(pl.rows))
+		for k := range pl.rows {
+			keys = append(keys, k)
+		}
+		sortKeys(keys)
+		for _, k := range keys {
+			out = append(out, pl.rows[k])
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Stats summarizes a table for monitoring.
+type Stats struct {
+	Rows       int
+	Indexes    int
+	IndexNames []string
+}
+
+// Stats returns the table's row count and index inventory.
+func (t *Table) Stats() Stats {
+	s := Stats{Rows: t.primary.Len(), Indexes: len(t.secondary)}
+	for name := range t.secondary {
+		s.IndexNames = append(s.IndexNames, name)
+	}
+	sortKeys(s.IndexNames)
+	return s
+}

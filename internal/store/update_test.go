@@ -1,0 +1,120 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestUpdate(t *testing.T) {
+	db := OpenMemory()
+	tbl, _ := db.CreateTable(testSchema())
+	tbl.Insert(Row{Int(1), Str("old"), Str("p"), Float(1), Bool(true)})
+	tbl.CreateIndex("norm")
+
+	if err := tbl.Update(Int(1), Row{Int(1), Str("new"), Str("p"), Float(2), Bool(false)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Get(Int(1))
+	if err != nil || got[1].S != "new" || got[3].F != 2 {
+		t.Fatalf("after update: %v, %v", got, err)
+	}
+	// Secondary index must follow.
+	if rows, _ := tbl.Lookup("norm", Str("old")); len(rows) != 0 {
+		t.Error("stale index entry after update")
+	}
+	if rows, _ := tbl.Lookup("norm", Str("new")); len(rows) != 1 {
+		t.Error("missing index entry after update")
+	}
+	// Errors.
+	if err := tbl.Update(Int(99), Row{Int(99), Str("x"), Str("p"), Float(0), Bool(true)}); err != ErrNotFound {
+		t.Errorf("update missing row: %v", err)
+	}
+	if err := tbl.Update(Int(1), Row{Int(2), Str("x"), Str("p"), Float(0), Bool(true)}); err != ErrPKChange {
+		t.Errorf("pk change: %v", err)
+	}
+	bad := Row{Int(1), Int(5), Str("p"), Float(0), Bool(true)}
+	if err := tbl.Update(Int(1), bad); err == nil {
+		t.Error("type mismatch accepted in update")
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	db := OpenMemory()
+	tbl, _ := db.CreateTable(testSchema())
+	if err := tbl.Upsert(Row{Int(1), Str("a"), Str("p"), Float(0), Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Upsert(Row{Int(1), Str("b"), Str("p"), Float(0), Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after double upsert", tbl.Len())
+	}
+	got, _ := tbl.Get(Int(1))
+	if got[1].S != "b" {
+		t.Errorf("upsert did not replace: %v", got)
+	}
+}
+
+func TestUpdatePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.db")
+	db, _ := Open(path)
+	tbl, _ := db.CreateTable(testSchema())
+	tbl.Insert(Row{Int(1), Str("a"), Str("p"), Float(0), Bool(true)})
+	tbl.Update(Int(1), Row{Int(1), Str("b"), Str("p"), Float(9), Bool(false)})
+	db.Close()
+
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, _ := db2.Table("concepts")
+	got, err := tbl2.Get(Int(1))
+	if err != nil || got[1].S != "b" || got[3].F != 9 {
+		t.Fatalf("replayed update: %v, %v", got, err)
+	}
+	if tbl2.Len() != 1 {
+		t.Fatalf("Len = %d", tbl2.Len())
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	db := OpenMemory()
+	tbl, _ := db.CreateTable(testSchema())
+	for i := 0; i < 20; i++ {
+		norm := string(rune('a' + i%5)) // a..e repeating
+		tbl.Insert(Row{Int(int64(i)), Str(norm), Str("p"), Float(0), Bool(true)})
+	}
+	tbl.CreateIndex("norm")
+	rows, err := tbl.LookupRange("norm", Str("b"), Str("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // b and c, 4 rows each
+		t.Fatalf("range rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].S != "b" && r[1].S != "c" {
+			t.Errorf("out-of-range row %v", r)
+		}
+	}
+	if _, err := tbl.LookupRange("preferred", Str("a"), Str("z")); err != ErrNoIndex {
+		t.Errorf("range without index: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := OpenMemory()
+	tbl, _ := db.CreateTable(testSchema())
+	tbl.Insert(Row{Int(1), Str("a"), Str("p"), Float(0), Bool(true)})
+	tbl.CreateIndex("norm")
+	tbl.CreateIndex("preferred")
+	s := tbl.Stats()
+	if s.Rows != 1 || s.Indexes != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if len(s.IndexNames) != 2 || s.IndexNames[0] != "norm" {
+		t.Errorf("index names = %v", s.IndexNames)
+	}
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log is the single persistent representation of a DB:
+// every mutation is appended as a CRC-framed record and the in-memory
+// tables plus B-tree indexes are rebuilt by replay on open. A truncated
+// or corrupted tail (crash mid-write) is detected by the CRC and cut off.
+//
+// Record framing:
+//
+//	uint32  payload length
+//	uint32  CRC32 (IEEE) of payload
+//	payload bytes
+//
+// Payload: 1 op byte, then op-specific fields, each string
+// length-prefixed with uvarint.
+const (
+	opCreateTable byte = 1
+	opInsert      byte = 2
+	opDelete      byte = 3
+)
+
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), len: st.Size()}, nil
+}
+
+// replay streams every valid record to fn, then positions the file for
+// appending. On a corrupt or truncated tail it truncates the file to the
+// last valid record and reports how many records were dropped.
+func (l *wal) replay(fn func(payload []byte) error) (dropped int, err error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(l.f)
+	var offset int64
+	var head [8]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			dropped = 1 // partial header
+			break
+		}
+		n := binary.BigEndian.Uint32(head[0:4])
+		sum := binary.BigEndian.Uint32(head[4:8])
+		if n > 1<<26 { // 64 MiB sanity bound
+			dropped = 1
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			dropped = 1
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			dropped = 1
+			break
+		}
+		if err := fn(payload); err != nil {
+			return 0, fmt.Errorf("store: replay: %w", err)
+		}
+		offset += int64(8 + n)
+	}
+	if dropped > 0 {
+		if err := l.f.Truncate(offset); err != nil {
+			return dropped, err
+		}
+	}
+	l.len = offset
+	if _, err := l.f.Seek(offset, io.SeekStart); err != nil {
+		return dropped, err
+	}
+	l.w.Reset(l.f)
+	return dropped, nil
+}
+
+// append frames and buffers one record.
+func (l *wal) append(payload []byte) error {
+	var head [8]byte
+	binary.BigEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(head[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.len += int64(8 + len(payload))
+	return nil
+}
+
+func (l *wal) flush() error { return l.w.Flush() }
+
+func (l *wal) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// payload builders and readers.
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	u, k := binary.Uvarint(buf)
+	if k <= 0 || uint64(len(buf[k:])) < u {
+		return "", nil, ErrCorrupt
+	}
+	return string(buf[k : k+int(u)]), buf[k+int(u):], nil
+}

@@ -1,0 +1,85 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScanNumberEdges(t *testing.T) {
+	cases := []struct {
+		text string
+		want string // expected first-token text
+	}{
+		{"98.", "98"},            // trailing period is a sentence terminator
+		{"144/90.5", "144/90.5"}, // decimal in ratio denominator
+		{"1-2", "1-2"},
+		{"10,", "10"},
+		{"3/14", "3/14"},
+	}
+	for _, c := range cases {
+		toks := Tokenize(c.text)
+		if len(toks) == 0 || toks[0].Text != c.want {
+			t.Errorf("Tokenize(%q)[0] = %v, want %q", c.text, toks, c.want)
+		}
+		if toks[0].Kind != Number {
+			t.Errorf("Tokenize(%q)[0].Kind = %v", c.text, toks[0].Kind)
+		}
+	}
+}
+
+func TestWordNumberEdgeCases(t *testing.T) {
+	// "one" as a pronoun-ish use still annotates — acceptable for this
+	// domain; but scale words alone must not.
+	sents := SplitSentences("She weighed one hundred pounds.")
+	anns := AnnotateNumbers(sents[0])
+	if len(anns) != 1 || anns[0].Value != 100 {
+		t.Errorf("one hundred = %+v", anns)
+	}
+	// Standalone "hundred" is not a number expression start.
+	sents = SplitSentences("Hundred percent clear.")
+	anns = AnnotateNumbers(sents[0])
+	if len(anns) != 0 {
+		t.Errorf("bare scale word annotated: %+v", anns)
+	}
+}
+
+func TestSectionHeaderCaseVariants(t *testing.T) {
+	rec := "PAST MEDICAL HISTORY:  Diabetes.\nvitals:  Pulse of 80.\n"
+	secs := SplitSections(rec)
+	if len(secs) != 2 {
+		t.Fatalf("case-insensitive headers: got %d sections: %v", len(secs), secs)
+	}
+	if secs[0].Header != "Past Medical History" {
+		t.Errorf("canonical header = %q", secs[0].Header)
+	}
+}
+
+func TestSectionColonSpacing(t *testing.T) {
+	rec := "Vitals :  Pulse of 80.\n"
+	secs := SplitSections(rec)
+	if len(secs) != 1 || secs[0].Header != "Vitals" {
+		t.Fatalf("space before colon: %v", secs)
+	}
+}
+
+func TestSplitSentencesManyShortFragments(t *testing.T) {
+	body := "HEENT:  PERRLA."
+	sents := SplitSentences(body)
+	if len(sents) != 1 {
+		t.Fatalf("fragments: %v", sentTexts(sents))
+	}
+}
+
+func TestTokenizeLongInputStable(t *testing.T) {
+	long := strings.Repeat("Blood pressure is 144/90. ", 500)
+	toks := Tokenize(long)
+	if len(toks) != 500*5 {
+		t.Errorf("token count = %d, want %d", len(toks), 2500)
+	}
+}
+
+func TestIsTitleCase(t *testing.T) {
+	if !IsTitleCase("Brooks") || IsTitleCase("brooks") || IsTitleCase("BR") || IsTitleCase("B") {
+		t.Error("IsTitleCase")
+	}
+}

@@ -1,0 +1,32 @@
+package textproc_test
+
+import (
+	"fmt"
+
+	"repro/internal/textproc"
+)
+
+// Split a record into its fixed sections, as §5 describes: "One record is
+// comprised of multiple sections, each of which begins with a fixed
+// string."
+func ExampleSplitSections() {
+	record := "Patient:  2\nVitals:  Blood pressure is 142/78, pulse of 96.\n"
+	for _, sec := range textproc.SplitSections(record) {
+		fmt.Printf("%s | %s\n", sec.Header, sec.Body)
+	}
+	// Output:
+	// Patient | 2
+	// Vitals | Blood pressure is 142/78, pulse of 96.
+}
+
+// Annotate every number in a sentence, including blood-pressure ratios
+// and English number words.
+func ExampleAnnotateNumbers() {
+	sent := textproc.SplitSentences("Blood pressure is 144/90 and she smoked for twenty five years.")[0]
+	for _, ann := range textproc.AnnotateNumbers(sent) {
+		fmt.Printf("%s = %g\n", ann.Text, ann.Value)
+	}
+	// Output:
+	// 144/90 = 144
+	// twenty five = 25
+}

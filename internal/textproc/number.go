@@ -1,0 +1,160 @@
+package textproc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NumberAnn is an annotated number found in a sentence. For a ratio token
+// such as a blood pressure reading "144/90", Value holds the first
+// component and Value2 the second, and IsRatio is true.
+type NumberAnn struct {
+	TokenIndex int     // index of the (first) token in the sentence
+	TokenSpan  int     // number of tokens consumed (≥1; English words may span several)
+	Text       string  // surface text, e.g. "144/90" or "twenty five"
+	Value      float64 // numeric value (first component of a ratio)
+	Value2     float64 // second component of a ratio, 0 otherwise
+	IsRatio    bool    // true for "144/90"-style readings
+	IsRange    bool    // true for "1-2"-style ranges; Value2 is the upper bound
+	FromWords  bool    // true when parsed from English number words
+}
+
+// unit number words and their values.
+var numberWords = map[string]float64{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+	"six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+	"eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+	"fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+	"nineteen": 19,
+}
+
+var tensWords = map[string]float64{
+	"twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+	"sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+}
+
+var scaleWords = map[string]float64{
+	"hundred": 100, "thousand": 1000,
+}
+
+// AnnotateNumbers finds every number in the sentence: digit tokens
+// (including decimals, ratios, ranges) and English number word sequences
+// such as "twenty five" or "one hundred and four". This mirrors the GATE
+// number NER stage the paper relies on ("most NLP development tools ...
+// annotate all numbers in a text with extremely high precision and
+// recall").
+func AnnotateNumbers(s Sentence) []NumberAnn {
+	var anns []NumberAnn
+	toks := s.Tokens
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == Number {
+			ann := parseDigitNumber(t)
+			ann.TokenIndex = i
+			ann.TokenSpan = 1
+			anns = append(anns, ann)
+			continue
+		}
+		if t.Kind == Word {
+			if ann, span, ok := parseWordNumber(toks, i); ok {
+				ann.TokenIndex = i
+				ann.TokenSpan = span
+				anns = append(anns, ann)
+				i += span - 1
+			}
+		}
+	}
+	return anns
+}
+
+// parseDigitNumber parses a digit token, handling decimals, blood-pressure
+// ratios and numeric ranges.
+func parseDigitNumber(t Token) NumberAnn {
+	text := t.Text
+	if k := strings.IndexByte(text, '/'); k > 0 {
+		a, _ := strconv.ParseFloat(text[:k], 64)
+		b, _ := strconv.ParseFloat(text[k+1:], 64)
+		return NumberAnn{Text: text, Value: a, Value2: b, IsRatio: true}
+	}
+	if k := strings.IndexByte(text, '-'); k > 0 {
+		a, _ := strconv.ParseFloat(text[:k], 64)
+		b, _ := strconv.ParseFloat(text[k+1:], 64)
+		return NumberAnn{Text: text, Value: a, Value2: b, IsRange: true}
+	}
+	v, _ := strconv.ParseFloat(text, 64)
+	return NumberAnn{Text: text, Value: v}
+}
+
+// parseWordNumber attempts to parse an English number expression starting
+// at token i. It returns the annotation, the token span consumed, and
+// whether a number was found. Supported shapes: unit ("seventeen"), tens
+// ("fifty"), tens+unit ("twenty five" / "twenty-five" via hyphenated word
+// token), unit+scale [+and] [tens] [unit] ("one hundred and four").
+func parseWordNumber(toks []Token, i int) (NumberAnn, int, bool) {
+	w := toks[i].Lower()
+
+	// Hyphenated compound like "twenty-five" arrives as one Word token.
+	if k := strings.IndexByte(w, '-'); k > 0 {
+		t1, ok1 := tensWords[w[:k]]
+		u, ok2 := numberWords[w[k+1:]]
+		if ok1 && ok2 {
+			return NumberAnn{Text: toks[i].Text, Value: t1 + u, FromWords: true}, 1, true
+		}
+	}
+
+	val, isTens := tensWords[w]
+	if isTens {
+		// Optional following unit: "twenty five".
+		if i+1 < len(toks) && toks[i+1].Kind == Word {
+			if u, ok := numberWords[toks[i+1].Lower()]; ok && u >= 1 && u <= 9 {
+				return NumberAnn{Text: toks[i].Text + " " + toks[i+1].Text, Value: val + u, FromWords: true}, 2, true
+			}
+		}
+		return NumberAnn{Text: toks[i].Text, Value: val, FromWords: true}, 1, true
+	}
+
+	unit, isUnit := numberWords[w]
+	if !isUnit {
+		return NumberAnn{}, 0, false
+	}
+	// Check for a scale word: "one hundred [and four]".
+	if i+1 < len(toks) && toks[i+1].Kind == Word {
+		if scale, ok := scaleWords[toks[i+1].Lower()]; ok {
+			total := unit * scale
+			span := 2
+			j := i + 2
+			// optional "and"
+			if j < len(toks) && toks[j].Kind == Word && toks[j].Lower() == "and" {
+				j++
+			}
+			if j < len(toks) && toks[j].Kind == Word {
+				if t1, ok := tensWords[toks[j].Lower()]; ok {
+					total += t1
+					j++
+					if j < len(toks) && toks[j].Kind == Word {
+						if u, ok := numberWords[toks[j].Lower()]; ok && u >= 1 && u <= 9 {
+							total += u
+							j++
+						}
+					}
+					span = j - i
+				} else if u, ok := numberWords[toks[j].Lower()]; ok {
+					total += u
+					j++
+					span = j - i
+				}
+			}
+			text := joinTokenTexts(toks[i : i+span])
+			return NumberAnn{Text: text, Value: total, FromWords: true}, span, true
+		}
+	}
+	return NumberAnn{Text: toks[i].Text, Value: unit, FromWords: true}, 1, true
+}
+
+func joinTokenTexts(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}

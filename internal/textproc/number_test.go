@@ -1,0 +1,98 @@
+package textproc
+
+import (
+	"math"
+	"testing"
+)
+
+func annotate(t *testing.T, text string) []NumberAnn {
+	t.Helper()
+	sents := SplitSentences(text)
+	if len(sents) != 1 {
+		t.Fatalf("expected 1 sentence for %q, got %d", text, len(sents))
+	}
+	return AnnotateNumbers(sents[0])
+}
+
+func TestAnnotateDigits(t *testing.T) {
+	anns := annotate(t, "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.")
+	if len(anns) != 4 {
+		t.Fatalf("got %d numbers, want 4: %+v", len(anns), anns)
+	}
+	if !anns[0].IsRatio || anns[0].Value != 144 || anns[0].Value2 != 90 {
+		t.Errorf("ratio ann = %+v", anns[0])
+	}
+	if anns[1].Value != 84 {
+		t.Errorf("pulse = %+v", anns[1])
+	}
+	if math.Abs(anns[2].Value-98.3) > 1e-9 {
+		t.Errorf("temperature = %+v", anns[2])
+	}
+	if anns[3].Value != 154 {
+		t.Errorf("weight = %+v", anns[3])
+	}
+}
+
+func TestAnnotateWordNumbers(t *testing.T) {
+	cases := []struct {
+		text string
+		want float64
+		span int
+	}{
+		{"Menarche at age seventeen years.", 17, 1},
+		{"She is fifty years old.", 50, 1},
+		{"She smoked for twenty five years.", 25, 2},
+		{"Weight of one hundred and four pounds.", 104, 4},
+		{"Weight of two hundred eleven pounds.", 211, 3},
+		{"Her age is twenty-five years.", 25, 1},
+	}
+	for _, c := range cases {
+		anns := annotate(t, c.text)
+		if len(anns) != 1 {
+			t.Errorf("%q: got %d numbers, want 1: %+v", c.text, len(anns), anns)
+			continue
+		}
+		a := anns[0]
+		if a.Value != c.want {
+			t.Errorf("%q: value = %v, want %v", c.text, a.Value, c.want)
+		}
+		if a.TokenSpan != c.span {
+			t.Errorf("%q: span = %d, want %d", c.text, a.TokenSpan, c.span)
+		}
+		if !a.FromWords {
+			t.Errorf("%q: FromWords = false", c.text)
+		}
+	}
+}
+
+func TestAnnotateRange(t *testing.T) {
+	anns := annotate(t, "Alcohol use 1-2 day per week.")
+	if len(anns) != 1 {
+		t.Fatalf("got %d numbers, want 1: %+v", len(anns), anns)
+	}
+	a := anns[0]
+	if !a.IsRange || a.Value != 1 || a.Value2 != 2 {
+		t.Errorf("range ann = %+v", a)
+	}
+}
+
+func TestAnnotateNoFalsePositives(t *testing.T) {
+	anns := annotate(t, "She denies any tobacco or alcohol use.")
+	if len(anns) != 0 {
+		t.Errorf("false positives: %+v", anns)
+	}
+}
+
+func TestAnnotateTokenIndices(t *testing.T) {
+	sents := SplitSentences("Pulse of 84 and weight of 154.")
+	anns := AnnotateNumbers(sents[0])
+	if len(anns) != 2 {
+		t.Fatalf("got %d anns: %+v", len(anns), anns)
+	}
+	for _, a := range anns {
+		tok := sents[0].Tokens[a.TokenIndex]
+		if tok.Text != a.Text {
+			t.Errorf("TokenIndex mismatch: token %q vs ann %q", tok.Text, a.Text)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tokens(t *testing.T, text string) []Token {
+	t.Helper()
+	return Tokenize(text)
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeVitalsSentence(t *testing.T) {
+	toks := tokens(t, "Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.")
+	want := []string{"Blood", "pressure", "is", "144/90", ",", "pulse", "of", "84", ",", "temperature", "of", "98.3", ",", "and", "weight", "of", "154", "pounds", "."}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeKinds(t *testing.T) {
+	cases := []struct {
+		text string
+		kind Kind
+	}{
+		{"144/90", Number},
+		{"98.3", Number},
+		{"84", Number},
+		{"1-2", Number},
+		{"pressure", Word},
+		{"well-developed", Word},
+		{"patient's", Word},
+		{",", Punct},
+		{":", Punct},
+	}
+	for _, c := range cases {
+		toks := Tokenize(c.text)
+		if len(toks) != 1 {
+			t.Errorf("Tokenize(%q) = %v, want single token", c.text, texts(toks))
+			continue
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("Tokenize(%q).Kind = %v, want %v", c.text, toks[0].Kind, c.kind)
+		}
+	}
+}
+
+func TestTokenizeHyphenatedAge(t *testing.T) {
+	toks := Tokenize("a 50-year-old woman")
+	// "50" is a number; "-year-old" begins with '-' which attaches to the word scan.
+	var nums, words int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case Number:
+			nums++
+		case Word:
+			words++
+		}
+	}
+	if nums != 1 {
+		t.Errorf("got %d number tokens, want 1: %v", nums, texts(toks))
+	}
+	if words < 3 {
+		t.Errorf("got %d word tokens, want >= 3: %v", words, texts(toks))
+	}
+}
+
+func TestTokenSpansRoundTrip(t *testing.T) {
+	text := "Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211."
+	for _, tok := range Tokenize(text) {
+		if tok.Start < 0 || tok.End > len(text) || tok.Start >= tok.End {
+			t.Fatalf("bad span [%d,%d) for %q", tok.Start, tok.End, tok.Text)
+		}
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("span text %q != token text %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndSpace(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v, want empty", got)
+	}
+	if got := Tokenize("   \n\t "); len(got) != 0 {
+		t.Errorf("Tokenize(whitespace) = %v, want empty", got)
+	}
+}
+
+// Property: tokens never overlap, are in order, and reconstruct substrings
+// of the original text.
+func TestTokenizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prev := 0
+		for _, tok := range toks {
+			if tok.Start < prev || tok.End <= tok.Start || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prev = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Word: "Word", Number: "Number", Punct: "Punct", Symbol: "Symbol", Kind(99): "Unknown"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
