@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -269,4 +270,151 @@ func BenchmarkPipelineProcess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys.Process(recs[i%len(recs)].Text)
 	}
+}
+
+// seedProcess replicates the seed pipeline's per-extractor analysis:
+// every extractor re-splits sections and re-tokenizes its text from
+// scratch (numeric over the whole record, terms per history section,
+// classifier over the record again), exactly as the pre-Document code
+// did. It is the "before" side of the refactor benchmark.
+func seedProcess(sys *core.System, recordText string) core.Extraction {
+	ex := core.Extraction{Numeric: sys.Numeric.Extract(recordText)}
+	secs := textproc.SplitSections(recordText)
+	if sec, ok := textproc.FindSection(secs, "Past Medical History"); ok {
+		ex.PreMedical, ex.OtherMedical = core.SplitTerms(sys.Terms.Extract(sec.Body, ontology.PredefinedMedical))
+	}
+	if sec, ok := textproc.FindSection(secs, "Past Surgical History"); ok {
+		ex.PreSurgical, ex.OtherSurgical = core.SplitTerms(sys.Terms.Extract(sec.Body, ontology.PredefinedSurgical))
+	}
+	if sec, ok := textproc.FindSection(secs, "Medications"); ok {
+		for _, t := range sys.Terms.Extract(sec.Body, nil) {
+			if t.Concept.Type == ontology.Medication {
+				ex.Medications = append(ex.Medications, t.Concept.Preferred)
+			}
+		}
+	}
+	if sys.Smoking != nil {
+		ex.Smoking = sys.Smoking.Classify(recordText)
+	}
+	return ex
+}
+
+// seedPersist replicates the seed's persistence: CreateTable on every
+// call and one WAL record per attribute row.
+func seedPersist(db *store.DB, ex core.Extraction) (int, error) {
+	tbl, err := db.CreateTable(store.Schema{
+		Name: "extracted",
+		Columns: []store.Column{
+			{Name: "id", Type: store.TInt},
+			{Name: "patient", Type: store.TInt},
+			{Name: "attribute", Type: store.TString},
+			{Name: "value", Type: store.TString},
+			{Name: "numeric", Type: store.TFloat},
+		},
+		Primary: 0,
+	})
+	if err != nil {
+		return 0, err
+	}
+	next := int64(tbl.Len()) + 1
+	n := 0
+	put := func(attr, val string, num float64) error {
+		row := store.Row{
+			store.Int(next), store.Int(int64(ex.Patient)),
+			store.Str(attr), store.Str(val), store.Float(num),
+		}
+		if err := tbl.Insert(row); err != nil {
+			return err
+		}
+		next++
+		n++
+		return nil
+	}
+	for attr, v := range ex.Numeric {
+		val := fmt.Sprintf("%g", v.Value)
+		if v.Ratio {
+			val = fmt.Sprintf("%g/%g", v.Value, v.Value2)
+		}
+		if err := put(attr, val, v.Value); err != nil {
+			return n, err
+		}
+	}
+	for _, l := range []struct {
+		attr  string
+		terms []string
+	}{
+		{"predefined past medical history", ex.PreMedical},
+		{"other past medical history", ex.OtherMedical},
+		{"predefined past surgical history", ex.PreSurgical},
+		{"other past surgical history", ex.OtherSurgical},
+		{"medications", ex.Medications},
+	} {
+		for _, t := range l.terms {
+			if err := put(l.attr, t, 0); err != nil {
+				return n, err
+			}
+		}
+	}
+	if ex.Smoking != "" {
+		if err := put("smoking", ex.Smoking, 0); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// BenchmarkCorpusPerRecordPersist is the baseline the Document/batch
+// refactor replaces: per-extractor re-analysis (seedProcess) and
+// seedPersist per record, logging row-at-a-time against a WAL-backed
+// store.
+func BenchmarkCorpusPerRecordPersist(b *testing.B) {
+	recs := corpus(b, 0)
+	sys, err := core.NewSystem(core.Config{Strategy: core.LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, err := store.Open(b.TempDir() + "/per-record.db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, r := range recs {
+			if _, err := seedPersist(db, seedProcess(sys, r.Text)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		db.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+}
+
+// BenchmarkCorpusBatched is the refactored path: one-pass analyzed
+// documents streamed through a worker pool, with batched persistence.
+func BenchmarkCorpusBatched(b *testing.B) {
+	recs := corpus(b, 0)
+	sys, err := core.NewSystem(core.Config{Strategy: core.LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, err := store.Open(b.TempDir() + "/batched.db")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.PersistAll(db, sys.ProcessAll(recs, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		db.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"slices"
 	"sort"
 	"strings"
 
@@ -19,6 +20,10 @@ import (
 	"repro/internal/records"
 	"repro/internal/store"
 )
+
+// persistEvery is how many extractions medex accumulates before one
+// batched persistence call (one WAL record per ~batch).
+const persistEvery = 64
 
 func main() {
 	log.SetFlags(0)
@@ -61,18 +66,34 @@ func main() {
 		db = store.OpenMemory()
 	}
 
-	rows := 0
-	for i, ex := range sys.ProcessAll(recs, *workers) {
-		n, err := core.Persist(db, ex)
+	// Stream extractions in corpus order with bounded memory, persisting
+	// a batch at a time so the WAL sees a few large records instead of
+	// one per attribute row.
+	rows, processed := 0, 0
+	batch := make([]core.Extraction, 0, persistEvery)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		n, err := core.PersistAll(db, batch)
 		if err != nil {
-			log.Fatalf("record %d: %v", recs[i].ID, err)
+			log.Fatalf("persisting batch ending at record %d: %v", recs[processed-1].ID, err)
 		}
 		rows += n
+		batch = batch[:0]
+	}
+	for _, ex := range sys.ProcessStream(slices.Values(recs), *workers) {
+		batch = append(batch, ex)
+		processed++
+		if len(batch) >= persistEvery {
+			flush()
+		}
 		if *verbose {
 			printExtraction(ex)
 		}
 	}
-	fmt.Printf("processed %d records, persisted %d attribute rows", len(recs), rows)
+	flush()
+	fmt.Printf("processed %d records, persisted %d attribute rows", processed, rows)
 	if *dbPath != "" {
 		fmt.Printf(" to %s", *dbPath)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/records"
+	"repro/internal/textproc"
 )
 
 func main() {
@@ -34,9 +35,12 @@ Vitals:  Blood pressure is 142/78, pulse of 96, and weight of 211.
 	// also label the categorical field.
 	sys.TrainSmoking(records.Generate(records.DefaultGenOptions()))
 
-	ex := sys.Process(note)
+	// Analyze once — tokens, sentences, sections in a single pass — then
+	// let every extractor share the Document.
+	doc := textproc.Analyze(note)
+	ex := sys.ProcessDoc(doc)
 
-	fmt.Printf("patient %d\n\n", ex.Patient)
+	fmt.Printf("patient %d (%d sections analyzed in one pass)\n\n", ex.Patient, len(doc.Sections))
 	fmt.Println("numeric fields (link grammar association):")
 	for _, attr := range records.NumericAttrs {
 		v, ok := ex.Numeric[attr]

@@ -38,13 +38,11 @@ func main() {
 	}
 	defer db.Close()
 
-	rows := 0
-	for _, r := range recs {
-		n, err := core.Persist(db, sys.Process(r.Text))
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows += n
+	// Process the corpus in parallel and persist with batched WAL writes:
+	// one log record per batch of rows instead of one per attribute.
+	rows, err := core.PersistAll(db, sys.ProcessAll(recs, 0))
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("persisted %d attribute rows for %d patients (%d byte WAL)\n\n", rows, len(recs), db.LogSize())
 

@@ -87,8 +87,19 @@ func (f CategoricalField) FieldText(recordText string) string {
 	return sec.Body
 }
 
+// fieldSentences returns the analyzed sentences the field's features are
+// extracted from, reusing the document's analysis.
+func (f CategoricalField) fieldSentences(doc *textproc.Document) []textproc.Sentence {
+	return doc.SentencesOf(f.Section)
+}
+
+// Features extracts the field's ID3 feature map from an analyzed record.
+func (f CategoricalField) Features(doc *textproc.Document) map[string]bool {
+	return id3.FeaturesFromSentences(f.fieldSentences(doc), f.Options)
+}
+
 // Examples converts labeled records into ID3 training examples, skipping
-// records whose gold label is absent.
+// records whose gold label is absent. Each record is analyzed once.
 func (f CategoricalField) Examples(recs []records.Record) []id3.Example {
 	var out []id3.Example
 	for _, r := range recs {
@@ -97,7 +108,7 @@ func (f CategoricalField) Examples(recs []records.Record) []id3.Example {
 			continue
 		}
 		out = append(out, id3.Example{
-			Features: id3.ExtractFeatures(f.FieldText(r.Text), f.Options),
+			Features: f.Features(textproc.Analyze(r.Text)),
 			Class:    label,
 		})
 	}
@@ -116,10 +127,15 @@ func TrainCategorical(f CategoricalField, recs []records.Record) *CategoricalCla
 	return &CategoricalClassifier{Field: f, Tree: id3.Train(f.Examples(recs))}
 }
 
-// Classify labels one record's text.
+// Classify labels one record's text. It analyzes the text and delegates
+// to ClassifyDoc.
 func (c *CategoricalClassifier) Classify(recordText string) string {
-	feats := id3.ExtractFeatures(c.Field.FieldText(recordText), c.Field.Options)
-	return c.Tree.Classify(feats)
+	return c.ClassifyDoc(textproc.Analyze(recordText))
+}
+
+// ClassifyDoc labels one analyzed record, reusing its sentence analysis.
+func (c *CategoricalClassifier) ClassifyDoc(doc *textproc.Document) string {
+	return c.Tree.Classify(c.Field.Features(doc))
 }
 
 // CrossValidate runs the paper's protocol on the field: k-fold CV

@@ -114,23 +114,31 @@ func (x *NumericExtractor) expansionsFor(i int) [][]string {
 	return x.expansions[i]
 }
 
-// Extract runs numeric extraction over the whole record text.
+// Extract runs numeric extraction over the whole record text. It is a
+// convenience wrapper that analyzes the text and calls ExtractDoc; callers
+// processing a record through several extractors should Analyze once and
+// share the Document.
 func (x *NumericExtractor) Extract(recordText string) map[string]NumericValue {
+	return x.ExtractDoc(textproc.Analyze(recordText))
+}
+
+// ExtractDoc runs numeric extraction over an analyzed record, reusing its
+// section and sentence analysis.
+func (x *NumericExtractor) ExtractDoc(doc *textproc.Document) map[string]NumericValue {
 	out := map[string]NumericValue{}
-	secs := textproc.SplitSections(recordText)
 	for fi, f := range x.Fields {
 		for _, secName := range f.Sections {
-			sec, ok := textproc.FindSection(secs, secName)
+			sec, ok := doc.Section(secName)
 			if !ok {
 				continue
 			}
 			if f.Attr == records.AttrAge {
-				if v, ok := extractAge(sec.Body); ok {
+				if v, ok := extractAge(sec.Sentences()); ok {
 					out[f.Attr] = NumericValue{Attr: f.Attr, Value: v}
 				}
 				continue
 			}
-			if v, ok := x.extractField(fi, sec.Body); ok {
+			if v, ok := x.extractField(fi, sec.Sentences()); ok {
 				out[f.Attr] = v
 				break
 			}
@@ -139,10 +147,10 @@ func (x *NumericExtractor) Extract(recordText string) map[string]NumericValue {
 	return out
 }
 
-// extractField finds the field's value within one section body.
-func (x *NumericExtractor) extractField(fi int, body string) (NumericValue, bool) {
+// extractField finds the field's value within one section's sentences.
+func (x *NumericExtractor) extractField(fi int, sents []textproc.Sentence) (NumericValue, bool) {
 	f := x.Fields[fi]
-	for _, sent := range textproc.SplitSentences(body) {
+	for _, sent := range sents {
 		kwEnd := matchKeyword(sent, x.expansionsFor(fi))
 		if kwEnd < 0 {
 			continue
@@ -314,8 +322,8 @@ func byLinkage(sent textproc.Sentence, nums []textproc.NumberAnn, kwTok int) *te
 
 // extractAge handles the "50-year-old woman" construction of the HPI
 // section: a number immediately followed by a year-old compound.
-func extractAge(body string) (float64, bool) {
-	for _, sent := range textproc.SplitSentences(body) {
+func extractAge(sents []textproc.Sentence) (float64, bool) {
+	for _, sent := range sents {
 		toks := sent.Tokens
 		for i, t := range toks {
 			if t.Kind != textproc.Number {

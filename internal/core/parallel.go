@@ -1,16 +1,123 @@
 package core
 
 import (
+	"iter"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/records"
 )
 
-// ProcessAll runs the pipeline over a corpus with a bounded worker pool
-// and returns the extractions in corpus order. The extractors are
-// stateless after construction (the ID3 tree is read-only once trained),
-// so workers share the System.
+// ProcessStream runs the pipeline over a stream of records with a bounded
+// worker pool, yielding (input index, extraction) pairs in input order.
+// Memory stays bounded by O(workers): at most a few batches of records
+// are in flight regardless of stream length, so corpora that do not fit
+// in memory can be processed by feeding records lazily. The extractors
+// are stateless after construction (the ID3 tree is read-only once
+// trained), so workers share the System.
+//
+// workers <= 0 selects GOMAXPROCS. Stopping iteration early cancels the
+// in-flight work and releases every goroutine.
+func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Seq2[int, Extraction] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return func(yield func(int, Extraction) bool) {
+		if workers == 1 {
+			i := 0
+			for r := range in {
+				if !yield(i, s.Process(r.Text)) {
+					return
+				}
+				i++
+			}
+			return
+		}
+
+		type job struct {
+			seq  int
+			text string
+		}
+		type result struct {
+			seq int
+			ex  Extraction
+		}
+		stop := make(chan struct{})
+		jobs := make(chan job, workers)
+		results := make(chan result, workers)
+		// tickets bounds the records in flight — queued, being processed,
+		// or completed but waiting in the reorder buffer. The feeder
+		// acquires one per record and the consumer releases one per
+		// yielded extraction, so even when one slow record stalls
+		// in-order delivery the rest of the stream cannot run ahead and
+		// pile up: memory stays O(workers) however long the stream is.
+		tickets := make(chan struct{}, 2*workers)
+
+		// Feeder: pull from the input stream, numbering records.
+		go func() {
+			defer close(jobs)
+			seq := 0
+			for r := range in {
+				select {
+				case tickets <- struct{}{}:
+				case <-stop:
+					return
+				}
+				select {
+				case jobs <- job{seq: seq, text: r.Text}:
+					seq++
+				case <-stop:
+					return
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					select {
+					case results <- result{seq: j.seq, ex: s.Process(j.text)}:
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+
+		// Reorder: workers finish out of order; hold completed extractions
+		// until their predecessors arrive. The ticket cap bounds the
+		// pending map along with everything else in flight.
+		defer close(stop)
+		pending := make(map[int]Extraction, 2*workers)
+		next := 0
+		for r := range results {
+			pending[r.seq] = r.ex
+			for {
+				ex, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !yield(next, ex) {
+					return
+				}
+				<-tickets
+				next++
+			}
+		}
+	}
+}
+
+// ProcessAll runs the pipeline over an in-memory corpus and returns the
+// extractions in corpus order. It is ProcessStream over a slice.
 func (s *System) ProcessAll(recs []records.Record, workers int) []Extraction {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -18,28 +125,12 @@ func (s *System) ProcessAll(recs []records.Record, workers int) []Extraction {
 	if workers > len(recs) {
 		workers = len(recs)
 	}
+	if workers < 1 {
+		workers = 1 // empty corpus: take the sequential no-op path
+	}
 	out := make([]Extraction, len(recs))
-	if workers <= 1 {
-		for i, r := range recs {
-			out[i] = s.Process(r.Text)
-		}
-		return out
+	for i, ex := range s.ProcessStream(slices.Values(recs), workers) {
+		out[i] = ex
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = s.Process(recs[i].Text)
-			}
-		}()
-	}
-	for i := range recs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 	return out
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"reflect"
+	"slices"
+	"sync"
 	"testing"
 
 	"repro/internal/records"
@@ -25,6 +27,101 @@ func TestProcessAllMatchesSequential(t *testing.T) {
 			t.Errorf("record %d differs:\nseq: %+v\npar: %+v", i, seq[i], par[i])
 		}
 	}
+}
+
+func TestProcessStreamPreservesOrder(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 20, Seed: 5})
+	sys, err := NewSystem(Config{Strategy: LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sys.ProcessAll(recs, 1)
+	next := 0
+	for i, ex := range sys.ProcessStream(slices.Values(recs), 7) {
+		if i != next {
+			t.Fatalf("yielded index %d, want %d", i, next)
+		}
+		if !reflect.DeepEqual(ex, want[i]) {
+			t.Errorf("record %d differs from sequential result", i)
+		}
+		next++
+	}
+	if next != len(recs) {
+		t.Fatalf("stream yielded %d records, want %d", next, len(recs))
+	}
+}
+
+func TestProcessStreamEarlyStop(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 30, Seed: 5})
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Breaking out of the loop must release every worker goroutine; the
+	// -race run and the test's own completion guard against leaks and
+	// deadlocks here.
+	seen := 0
+	for range sys.ProcessStream(slices.Values(recs), 4) {
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("consumed %d, want 3", seen)
+	}
+}
+
+func TestProcessStreamMoreWorkersThanRecords(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 3, Seed: 9})
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := range sys.ProcessStream(slices.Values(recs), 64) {
+		if i != got {
+			t.Fatalf("index %d out of order (want %d)", i, got)
+		}
+		got++
+	}
+	if got != len(recs) {
+		t.Fatalf("yielded %d, want %d", got, len(recs))
+	}
+}
+
+// TestProcessConcurrentSharedSystem drives one System from many
+// goroutines at once; run with -race it verifies the shared extractors
+// really are read-only after construction and training.
+func TestProcessConcurrentSharedSystem(t *testing.T) {
+	recs := records.Generate(records.GenOptions{N: 8, Seed: 11})
+	sys, err := NewSystem(Config{Strategy: LinkGrammar, ResolveSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.TrainSmoking(recs)
+	want := sys.ProcessAll(recs, 1)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				got := sys.ProcessAll(recs, 3)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("goroutine %d: ProcessAll diverged", g)
+				}
+				return
+			}
+			for i, r := range recs {
+				if got := sys.Process(r.Text); !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("goroutine %d: record %d diverged", g, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestProcessAllWorkerClamp(t *testing.T) {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/ontology"
@@ -57,30 +59,42 @@ type Extraction struct {
 	Smoking       string
 }
 
-// Process extracts all attributes from one record text.
+// Process extracts all attributes from one record text. It analyzes the
+// text once and delegates to ProcessDoc.
 func (s *System) Process(recordText string) Extraction {
-	ex := Extraction{Numeric: s.Numeric.Extract(recordText)}
-	secs := textproc.SplitSections(recordText)
-	if sec, ok := textproc.FindSection(secs, "Patient"); ok {
-		fmt.Sscanf(strings.TrimSpace(sec.Body), "%d", &ex.Patient)
+	return s.ProcessDoc(textproc.Analyze(recordText))
+}
+
+// ProcessDoc extracts all attributes from an analyzed record. Every
+// extractor shares the document's single tokenization / sentence /
+// section analysis; none re-runs a text pass.
+func (s *System) ProcessDoc(doc *textproc.Document) Extraction {
+	ex := Extraction{Numeric: s.Numeric.ExtractDoc(doc)}
+	if sec, ok := doc.Section("Patient"); ok {
+		id, err := strconv.Atoi(strings.TrimSpace(sec.Body))
+		if err == nil {
+			ex.Patient = id
+		}
+		// A malformed patient section leaves Patient zero; downstream
+		// consumers treat 0 as "no patient id".
 	}
-	if sec, ok := textproc.FindSection(secs, "Past Medical History"); ok {
-		terms := s.Terms.Extract(sec.Body, ontology.PredefinedMedical)
+	if sec, ok := doc.Section("Past Medical History"); ok {
+		terms := s.Terms.ExtractSentences(sec.Sentences(), ontology.PredefinedMedical)
 		ex.PreMedical, ex.OtherMedical = SplitTerms(terms)
 	}
-	if sec, ok := textproc.FindSection(secs, "Past Surgical History"); ok {
-		terms := s.Terms.Extract(sec.Body, ontology.PredefinedSurgical)
+	if sec, ok := doc.Section("Past Surgical History"); ok {
+		terms := s.Terms.ExtractSentences(sec.Sentences(), ontology.PredefinedSurgical)
 		ex.PreSurgical, ex.OtherSurgical = SplitTerms(terms)
 	}
-	if sec, ok := textproc.FindSection(secs, "Medications"); ok {
-		for _, t := range s.Terms.Extract(sec.Body, nil) {
+	if sec, ok := doc.Section("Medications"); ok {
+		for _, t := range s.Terms.ExtractSentences(sec.Sentences(), nil) {
 			if t.Concept.Type == ontology.Medication {
 				ex.Medications = append(ex.Medications, t.Concept.Preferred)
 			}
 		}
 	}
 	if s.Smoking != nil {
-		ex.Smoking = s.Smoking.Classify(recordText)
+		ex.Smoking = s.Smoking.ClassifyDoc(doc)
 	}
 	return ex
 }
@@ -107,35 +121,30 @@ func resultSchema() store.Schema {
 	}
 }
 
-// Persist writes an extraction into the database, one row per attribute
-// value, and returns the number of rows written.
-func Persist(db *store.DB, ex Extraction) (int, error) {
-	tbl, err := db.CreateTable(resultSchema())
-	if err != nil {
-		return 0, err
-	}
-	next := int64(tbl.Len()) + 1
-	n := 0
-	put := func(attr, val string, num float64) error {
-		row := store.Row{
+// extractionRows builds the table rows of one extraction, assigning ids
+// from next upward. Numeric attributes are emitted in sorted order so the
+// persisted layout is deterministic.
+func extractionRows(ex Extraction, next int64) []store.Row {
+	var rows []store.Row
+	put := func(attr, val string, num float64) {
+		rows = append(rows, store.Row{
 			store.Int(next), store.Int(int64(ex.Patient)),
 			store.Str(attr), store.Str(val), store.Float(num),
-		}
-		if err := tbl.Insert(row); err != nil {
-			return err
-		}
+		})
 		next++
-		n++
-		return nil
 	}
-	for attr, v := range ex.Numeric {
+	numAttrs := make([]string, 0, len(ex.Numeric))
+	for attr := range ex.Numeric {
+		numAttrs = append(numAttrs, attr)
+	}
+	sort.Strings(numAttrs)
+	for _, attr := range numAttrs {
+		v := ex.Numeric[attr]
 		val := fmt.Sprintf("%g", v.Value)
 		if v.Ratio {
 			val = fmt.Sprintf("%g/%g", v.Value, v.Value2)
 		}
-		if err := put(attr, val, v.Value); err != nil {
-			return n, err
-		}
+		put(attr, val, v.Value)
 	}
 	lists := []struct {
 		attr  string
@@ -149,15 +158,63 @@ func Persist(db *store.DB, ex Extraction) (int, error) {
 	}
 	for _, l := range lists {
 		for _, t := range l.terms {
-			if err := put(l.attr, t, 0); err != nil {
-				return n, err
-			}
+			put(l.attr, t, 0)
 		}
 	}
 	if ex.Smoking != "" {
-		if err := put("smoking", ex.Smoking, 0); err != nil {
-			return n, err
+		put("smoking", ex.Smoking, 0)
+	}
+	return rows
+}
+
+// persistBatchRows is how many rows PersistAll groups into one WAL record:
+// large enough to amortize framing and flush cost, small enough to keep
+// individual log records modest.
+const persistBatchRows = 512
+
+// Persist writes an extraction into the database, one row per attribute
+// value and one WAL record for the whole extraction, and returns the
+// number of rows written.
+func Persist(db *store.DB, ex Extraction) (int, error) {
+	return PersistAll(db, []Extraction{ex})
+}
+
+// PersistAll writes many extractions into the database, creating the
+// extracted table once and batching rows into a few WAL records instead
+// of logging row-at-a-time. It returns the number of rows written.
+func PersistAll(db *store.DB, exs []Extraction) (int, error) {
+	tbl, err := db.CreateTable(resultSchema())
+	if err != nil {
+		return 0, err
+	}
+	next := int64(tbl.Len()) + 1
+	written := 0
+	batch := make([]store.Row, 0, persistBatchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := tbl.InsertBatch(batch); err != nil {
+			return err
+		}
+		written += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for _, ex := range exs {
+		rows := extractionRows(ex, next)
+		next += int64(len(rows))
+		for _, row := range rows {
+			batch = append(batch, row)
+			if len(batch) >= persistBatchRows {
+				if err := flush(); err != nil {
+					return written, err
+				}
+			}
 		}
 	}
-	return n, nil
+	if err := flush(); err != nil {
+		return written, err
+	}
+	return written, nil
 }

@@ -47,8 +47,17 @@ func isJJ(t pos.Tag) bool { return t.IsAdjective() }
 func isNN(t pos.Tag) bool { return t.IsNoun() }
 
 // Extract finds the medical terms of one section body and classifies each
-// as predefined or other against the given predefined name list.
+// as predefined or other against the given predefined name list. It is a
+// convenience wrapper around ExtractSentences for callers holding raw
+// text; pipeline code passes the analyzed sentences of a
+// textproc.Document section instead.
 func (x *TermExtractor) Extract(body string, predefined []string) []ExtractedTerm {
+	return x.ExtractSentences(textproc.SplitSentences(body), predefined)
+}
+
+// ExtractSentences finds the medical terms of pre-analyzed sentences and
+// classifies each as predefined or other.
+func (x *TermExtractor) ExtractSentences(sents []textproc.Sentence, predefined []string) []ExtractedTerm {
 	preNorm := map[string]bool{}
 	preCUI := map[string]bool{}
 	for _, p := range predefined {
@@ -60,7 +69,7 @@ func (x *TermExtractor) Extract(body string, predefined []string) []ExtractedTer
 
 	var out []ExtractedTerm
 	seen := map[string]bool{}
-	for _, sent := range textproc.SplitSentences(body) {
+	for _, sent := range sents {
 		tagged := pos.TagSentence(sent)
 		negFrom := 1 << 30
 		if x.FilterNegated {

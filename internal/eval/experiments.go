@@ -76,8 +76,9 @@ func RunE2(recs []records.Record, ont *ontology.Ontology, resolveSynonyms bool) 
 		Terms:   &core.TermExtractor{Ont: ont, ResolveSynonyms: resolveSynonyms},
 	}
 	res := E2Result{ResolveSynonyms: resolveSynonyms}
-	for _, r := range recs {
-		ex := sys.Process(r.Text)
+	exs := sys.ProcessAll(recs, 0)
+	for i, r := range recs {
+		ex := exs[i]
 		goldPreM, goldOtherM := records.SplitPredefined(r.Gold.PastMedical, ontology.PredefinedMedical)
 		goldPreS, goldOtherS := records.SplitPredefined(r.Gold.PastSurgical, ontology.PredefinedSurgical)
 		res.PreMedical.AddSets(ex.PreMedical, goldPreM)
@@ -361,9 +362,9 @@ func RunE5(recs []records.Record, ont *ontology.Ontology) PR {
 		Terms:   &core.TermExtractor{Ont: ont, ResolveSynonyms: true},
 	}
 	var pr PR
-	for _, r := range recs {
-		ex := sys.Process(r.Text)
-		pr.AddSets(ex.Medications, r.Gold.Medications)
+	exs := sys.ProcessAll(recs, 0)
+	for i, r := range recs {
+		pr.AddSets(exs[i].Medications, r.Gold.Medications)
 	}
 	return pr
 }
@@ -408,8 +409,9 @@ func RunA7(recs []records.Record, ont *ontology.Ontology) A7Result {
 		Terms:   &core.TermExtractor{Ont: ont, ResolveSynonyms: true, FilterNegated: true},
 	}
 	res.Filtered = E2Result{ResolveSynonyms: true}
-	for _, r := range recs {
-		ex := sys.Process(r.Text)
+	exs := sys.ProcessAll(recs, 0)
+	for i, r := range recs {
+		ex := exs[i]
 		goldPreM, goldOtherM := records.SplitPredefined(r.Gold.PastMedical, ontology.PredefinedMedical)
 		goldPreS, goldOtherS := records.SplitPredefined(r.Gold.PastSurgical, ontology.PredefinedSurgical)
 		res.Filtered.PreMedical.AddSets(ex.PreMedical, goldPreM)

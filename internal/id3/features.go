@@ -54,10 +54,18 @@ func DefaultOptions() FeatureOptions {
 }
 
 // ExtractFeatures converts free text (one field of one record) into the
-// Boolean feature map used by the ID3 classifier.
+// Boolean feature map used by the ID3 classifier. It is a convenience
+// wrapper around FeaturesFromSentences; pipeline code passes the analyzed
+// sentences of a textproc.Document section instead of re-splitting.
 func ExtractFeatures(text string, opts FeatureOptions) map[string]bool {
+	return FeaturesFromSentences(textproc.SplitSentences(text), opts)
+}
+
+// FeaturesFromSentences converts pre-analyzed sentences into the Boolean
+// feature map used by the ID3 classifier.
+func FeaturesFromSentences(sents []textproc.Sentence, opts FeatureOptions) map[string]bool {
 	feats := map[string]bool{}
-	for _, sent := range textproc.SplitSentences(text) {
+	for _, sent := range sents {
 		extractSentence(sent, opts, feats)
 	}
 	return feats

@@ -125,12 +125,26 @@ func encodeRow(buf []byte, row Row) []byte {
 	return buf
 }
 
-// decodeRow decodes n values from buf.
+// decodeRow decodes exactly n values from buf, requiring the buffer to be
+// fully consumed.
 func decodeRow(buf []byte, n int) (Row, error) {
+	row, rest, err := decodeValues(buf, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrCorrupt
+	}
+	return row, nil
+}
+
+// decodeValues decodes n values from the front of buf and returns the
+// unconsumed remainder, letting batch records concatenate several rows.
+func decodeValues(buf []byte, n int) (Row, []byte, error) {
 	row := make(Row, 0, n)
 	for i := 0; i < n; i++ {
 		if len(buf) == 0 {
-			return nil, ErrCorrupt
+			return nil, nil, ErrCorrupt
 		}
 		t := ColType(buf[0])
 		buf = buf[1:]
@@ -138,37 +152,34 @@ func decodeRow(buf []byte, n int) (Row, error) {
 		case TInt:
 			u, k := binary.Uvarint(buf)
 			if k <= 0 {
-				return nil, ErrCorrupt
+				return nil, nil, ErrCorrupt
 			}
 			buf = buf[k:]
 			row = append(row, Int(unzigzag(u)))
 		case TFloat:
 			if len(buf) < 8 {
-				return nil, ErrCorrupt
+				return nil, nil, ErrCorrupt
 			}
 			row = append(row, Float(math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))))
 			buf = buf[8:]
 		case TString:
 			u, k := binary.Uvarint(buf)
 			if k <= 0 || uint64(len(buf[k:])) < u {
-				return nil, ErrCorrupt
+				return nil, nil, ErrCorrupt
 			}
 			row = append(row, Str(string(buf[k:k+int(u)])))
 			buf = buf[k+int(u):]
 		case TBool:
 			if len(buf) < 1 {
-				return nil, ErrCorrupt
+				return nil, nil, ErrCorrupt
 			}
 			row = append(row, Bool(buf[0] == 1))
 			buf = buf[1:]
 		default:
-			return nil, ErrCorrupt
+			return nil, nil, ErrCorrupt
 		}
 	}
-	if len(buf) != 0 {
-		return nil, ErrCorrupt
-	}
-	return row, nil
+	return row, buf, nil
 }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }

@@ -5,11 +5,14 @@ import (
 	"os"
 )
 
+// compactBatchRows is how many live rows Compact frames per batch record.
+const compactBatchRows = 512
+
 // Compact rewrites the write-ahead log so it contains exactly the live
-// state (one create-table record per table, one insert per live row),
-// dropping superseded inserts and deletes. The rewrite goes to a
-// temporary file that atomically replaces the log, so a crash during
-// compaction leaves either the old or the new log intact.
+// state (one create-table record per table, batch-insert records covering
+// the live rows), dropping superseded inserts and deletes. The rewrite
+// goes to a temporary file that atomically replaces the log, so a crash
+// during compaction leaves either the old or the new log intact.
 //
 // Long-running deployments of the extraction pipeline append one insert
 // per extracted attribute; compaction bounds recovery time.
@@ -49,16 +52,28 @@ func (db *DB) Compact() error {
 			return err
 		}
 		var insertErr error
+		batch := make([]Row, 0, compactBatchRows)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			p := encodeBatchPayload(s.Name, batch)
+			batch = batch[:0]
+			return tmp.append(p)
+		}
 		t.primary.Ascend(func(_ []byte, val interface{}) bool {
-			p := []byte{opInsert}
-			p = appendString(p, s.Name)
-			p = encodeRow(p, val.(Row))
-			if err := tmp.append(p); err != nil {
-				insertErr = err
-				return false
+			batch = append(batch, val.(Row))
+			if len(batch) >= compactBatchRows {
+				if err := flush(); err != nil {
+					insertErr = err
+					return false
+				}
 			}
 			return true
 		})
+		if insertErr == nil {
+			insertErr = flush()
+		}
 		if insertErr != nil {
 			cleanup()
 			return insertErr

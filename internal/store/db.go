@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 )
@@ -142,6 +143,17 @@ func (db *DB) logInsert(table string, row Row) error {
 	return db.log.flush()
 }
 
+// logInsertBatch appends one WAL record covering the whole row batch.
+func (db *DB) logInsertBatch(table string, rows []Row) error {
+	if db.log == nil {
+		return nil
+	}
+	if err := db.log.append(encodeBatchPayload(table, rows)); err != nil {
+		return err
+	}
+	return db.log.flush()
+}
+
 // logDelete appends a delete record for the table.
 func (db *DB) logDelete(table string, pk Value) error {
 	if db.log == nil {
@@ -200,6 +212,27 @@ func (db *DB) applyLogRecord(payload []byte) error {
 			return err
 		}
 		t.apply(encodeKey(row[t.schema.Primary]), row)
+	case opInsertBatch:
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay batch insert into unknown table %q", name)
+		}
+		count, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return ErrCorrupt
+		}
+		rest = rest[k:]
+		for i := uint64(0); i < count; i++ {
+			var row Row
+			row, rest, err = decodeValues(rest, len(t.schema.Columns))
+			if err != nil {
+				return err
+			}
+			t.apply(encodeKey(row[t.schema.Primary]), row)
+		}
+		if len(rest) != 0 {
+			return ErrCorrupt
+		}
 	case opDelete:
 		t, ok := db.tables[name]
 		if !ok {

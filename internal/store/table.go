@@ -80,6 +80,38 @@ func (t *Table) Insert(row Row) error {
 	return nil
 }
 
+// InsertBatch adds many rows with a single write-ahead-log record. The
+// whole batch is validated (schema and primary-key uniqueness, including
+// against other rows of the same batch) before anything is logged or
+// applied, so the batch is all-or-nothing: on error the table is
+// unchanged, and on crash recovery a torn batch record is dropped
+// atomically by the WAL's CRC framing.
+func (t *Table) InsertBatch(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	keys := make([][]byte, len(rows))
+	inBatch := make(map[string]bool, len(rows))
+	for i, row := range rows {
+		if err := t.schema.validate(row); err != nil {
+			return err
+		}
+		key := encodeKey(row[t.schema.Primary])
+		if _, exists := t.primary.Get(key); exists || inBatch[string(key)] {
+			return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
+		}
+		inBatch[string(key)] = true
+		keys[i] = key
+	}
+	if err := t.db.logInsertBatch(t.schema.Name, rows); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		t.apply(keys[i], row)
+	}
+	return nil
+}
+
 // apply performs the in-memory insert (used by Insert and WAL replay).
 func (t *Table) apply(key []byte, row Row) {
 	t.primary.Put(key, row)

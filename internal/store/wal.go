@@ -26,6 +26,11 @@ const (
 	opCreateTable byte = 1
 	opInsert      byte = 2
 	opDelete      byte = 3
+	// opInsertBatch frames many rows of one table in a single record:
+	// table name, uvarint row count, then the encoded rows. Because the
+	// CRC covers the whole record, a crash mid-batch drops the batch
+	// atomically on recovery.
+	opInsertBatch byte = 4
 )
 
 type wal struct {
@@ -131,6 +136,20 @@ func (l *wal) close() error {
 }
 
 // payload builders and readers.
+
+// encodeBatchPayload frames an opInsertBatch payload: op byte, table
+// name, uvarint row count, then the encoded rows. It is the single
+// encoder for the format applyLogRecord's opInsertBatch case decodes;
+// logInsertBatch and Compact both go through it.
+func encodeBatchPayload(table string, rows []Row) []byte {
+	payload := []byte{opInsertBatch}
+	payload = appendString(payload, table)
+	payload = binary.AppendUvarint(payload, uint64(len(rows)))
+	for _, row := range rows {
+		payload = encodeRow(payload, row)
+	}
+	return payload
+}
 
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))

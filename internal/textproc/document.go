@@ -1,0 +1,68 @@
+package textproc
+
+import (
+	"strings"
+	"sync"
+)
+
+// Document is an analyzed record: the Figure 2 front of the pipeline
+// (section split, then tokenisation and sentence splitting per section)
+// computed at most once per section, with per-section token and sentence
+// views that every downstream consumer — numeric extraction, term
+// extraction, feature extraction for the categorical classifier — shares
+// instead of re-running the analysis on the same text.
+//
+// Section bodies are analyzed lazily on first access and memoized, so a
+// record pays only for the sections its extractors actually read, and
+// never pays twice. A Document is safe to share across goroutines.
+type Document struct {
+	Text     string
+	Sections []*DocSection
+}
+
+// DocSection is one analyzed section: the raw header/body span plus a
+// memoized sentence (and therefore token) analysis of its body.
+type DocSection struct {
+	Section
+	once  sync.Once
+	sents []Sentence
+}
+
+// Sentences returns the sentence split of the section body, computing it
+// on first call and reusing the result afterwards. Token offsets are
+// relative to Body, exactly as SplitSentences(Body) would return them.
+func (s *DocSection) Sentences() []Sentence {
+	s.once.Do(func() { s.sents = SplitSentences(s.Body) })
+	return s.sents
+}
+
+// Analyze splits a record into sections — one SplitSections pass over the
+// whole text — and wraps each in a lazily analyzed DocSection.
+func Analyze(text string) *Document {
+	secs := SplitSections(text)
+	d := &Document{Text: text, Sections: make([]*DocSection, len(secs))}
+	for i, s := range secs {
+		d.Sections[i] = &DocSection{Section: s}
+	}
+	return d
+}
+
+// Section returns the first section with the given header
+// (case-insensitive) and whether it was found.
+func (d *Document) Section(header string) (*DocSection, bool) {
+	for _, s := range d.Sections {
+		if strings.EqualFold(s.Header, header) {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// SentencesOf returns the analyzed sentences of the named section, or nil
+// when the record has no such section.
+func (d *Document) SentencesOf(header string) []Sentence {
+	if sec, ok := d.Section(header); ok {
+		return sec.Sentences()
+	}
+	return nil
+}

@@ -46,6 +46,7 @@ var StandardHeaders = []string{
 // sections, each of which begins with a fixed string. Therefore, it is
 // easy to split the whole record into sections."
 func SplitSections(record string) []Section {
+	sectionSplitPasses.Add(1)
 	type hit struct {
 		header string
 		start  int // offset of header text

@@ -1,0 +1,18 @@
+package textproc
+
+import "sync/atomic"
+
+// Analysis pass counters. SplitSections and Tokenize increment them on
+// every call, letting tests assert the one-pass property of the Document
+// pipeline: processing a pre-analyzed *Document must not re-run either.
+var (
+	sectionSplitPasses atomic.Uint64
+	tokenizePasses     atomic.Uint64
+)
+
+// AnalysisCounts returns the cumulative number of SplitSections and
+// Tokenize passes performed process-wide. Take a snapshot before and after
+// an operation to count the passes it performed.
+func AnalysisCounts() (sectionSplits, tokenizes uint64) {
+	return sectionSplitPasses.Load(), tokenizePasses.Load()
+}

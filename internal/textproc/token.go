@@ -66,6 +66,7 @@ func (t Token) Lower() string { return strings.ToLower(t.Text) }
 // periods ("Dr.") as single tokens, and emits punctuation as separate
 // tokens so the sentence splitter can see clause boundaries.
 func Tokenize(text string) []Token {
+	tokenizePasses.Add(1)
 	var toks []Token
 	i := 0
 	n := len(text)
