@@ -87,15 +87,13 @@ func (f CategoricalField) FieldText(recordText string) string {
 	return sec.Body
 }
 
-// fieldSentences returns the analyzed sentences the field's features are
-// extracted from, reusing the document's analysis.
-func (f CategoricalField) fieldSentences(doc *textproc.Document) []textproc.Sentence {
-	return doc.SentencesOf(f.Section)
-}
-
-// Features extracts the field's ID3 feature map from an analyzed record.
+// Features extracts the field's ID3 feature map from an analyzed record,
+// consuming the section's cached tag/parse analysis.
 func (f CategoricalField) Features(doc *textproc.Document) map[string]bool {
-	return id3.FeaturesFromSentences(f.fieldSentences(doc), f.Options)
+	if sec, ok := doc.Section(f.Section); ok {
+		return id3.FeaturesFromSection(sec, f.Options)
+	}
+	return map[string]bool{}
 }
 
 // Examples converts labeled records into ID3 training examples, skipping

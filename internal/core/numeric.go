@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/lexicon"
 	"repro/internal/linkgram"
-	"repro/internal/pos"
 	"repro/internal/records"
 	"repro/internal/textproc"
 )
@@ -138,7 +137,7 @@ func (x *NumericExtractor) ExtractDoc(doc *textproc.Document) map[string]Numeric
 				}
 				continue
 			}
-			if v, ok := x.extractField(fi, sec.Sentences()); ok {
+			if v, ok := x.extractField(fi, sec); ok {
 				out[f.Attr] = v
 				break
 			}
@@ -147,10 +146,11 @@ func (x *NumericExtractor) ExtractDoc(doc *textproc.Document) map[string]Numeric
 	return out
 }
 
-// extractField finds the field's value within one section's sentences.
-func (x *NumericExtractor) extractField(fi int, sents []textproc.Sentence) (NumericValue, bool) {
+// extractField finds the field's value within one section's sentences,
+// reusing the section's cached tag/parse analysis.
+func (x *NumericExtractor) extractField(fi int, sec *textproc.DocSection) (NumericValue, bool) {
 	f := x.Fields[fi]
-	for _, sent := range sents {
+	for si, sent := range sec.Sentences() {
 		kwEnd := matchKeyword(sent, x.expansionsFor(fi))
 		if kwEnd < 0 {
 			continue
@@ -169,7 +169,7 @@ func (x *NumericExtractor) extractField(fi int, sents []textproc.Sentence) (Nume
 		case x.Strategy == PatternOnly:
 			chosen = byPatterns(sent, nums, kwEnd)
 		default: // LinkGrammar with pattern fallback
-			chosen = byLinkage(sent, nums, kwEnd)
+			chosen = byLinkage(sec, si, nums, kwEnd)
 			if chosen == nil {
 				chosen = byPatterns(sent, nums, kwEnd)
 			}
@@ -288,14 +288,15 @@ func byPatterns(sent textproc.Sentence, nums []textproc.NumberAnn, kwTok int) *t
 	return nil
 }
 
-// byLinkage parses the sentence and picks the number at minimum weighted
+// byLinkage parses sentence si of the section — through the Document's
+// tag-once/parse-once cache, so repeated fields over the same section
+// never re-tag or re-parse — and picks the number at minimum weighted
 // graph distance from the keyword token (§3.1: "the association of
 // feature and number in a sentence is equivalent to searching for the
 // node with the shortest distance from a fixed node in a weighted
 // graph"). It returns nil when the sentence has no linkage.
-func byLinkage(sent textproc.Sentence, nums []textproc.NumberAnn, kwTok int) *textproc.NumberAnn {
-	tagged := pos.TagSentence(sent)
-	lk, err := linkgram.Parse(tagged)
+func byLinkage(sec *textproc.DocSection, si int, nums []textproc.NumberAnn, kwTok int) *textproc.NumberAnn {
+	lk, err := linkgram.ParseSection(sec, si)
 	if err != nil {
 		return nil
 	}

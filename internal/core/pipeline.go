@@ -79,15 +79,15 @@ func (s *System) ProcessDoc(doc *textproc.Document) Extraction {
 		// consumers treat 0 as "no patient id".
 	}
 	if sec, ok := doc.Section("Past Medical History"); ok {
-		terms := s.Terms.ExtractSentences(sec.Sentences(), ontology.PredefinedMedical)
+		terms := s.Terms.ExtractSection(sec, ontology.PredefinedMedical)
 		ex.PreMedical, ex.OtherMedical = SplitTerms(terms)
 	}
 	if sec, ok := doc.Section("Past Surgical History"); ok {
-		terms := s.Terms.ExtractSentences(sec.Sentences(), ontology.PredefinedSurgical)
+		terms := s.Terms.ExtractSection(sec, ontology.PredefinedSurgical)
 		ex.PreSurgical, ex.OtherSurgical = SplitTerms(terms)
 	}
 	if sec, ok := doc.Section("Medications"); ok {
-		for _, t := range s.Terms.ExtractSentences(sec.Sentences(), nil) {
+		for _, t := range s.Terms.ExtractSection(sec, nil) {
 			if t.Concept.Type == ontology.Medication {
 				ex.Medications = append(ex.Medications, t.Concept.Preferred)
 			}

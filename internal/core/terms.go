@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/lexicon"
 	"repro/internal/ontology"
@@ -25,6 +27,44 @@ type TermExtractor struct {
 	// stroke."). The paper's system lacks this, so it defaults off; the
 	// A7 ablation measures the precision it buys.
 	FilterNegated bool
+
+	// preSets caches compiled predefined-name sets keyed by list
+	// content, so repeated records against the same predefined list
+	// (the normal pipeline shape) don't re-normalize and re-look-up
+	// every name per record.
+	preSets sync.Map // string (joined names) → *predefinedSet
+}
+
+// predefinedSet is a compiled predefined-name list: the normalized
+// surface forms and (for synonym resolution) the CUIs they resolve to.
+type predefinedSet struct {
+	norm map[string]bool
+	cui  map[string]bool
+}
+
+var emptyPredefined = &predefinedSet{}
+
+// predefined returns the compiled set for a predefined-name list,
+// building and caching it on first use. The key is the list's content
+// (names joined on an unprintable separator), so reused or rebuilt
+// backing arrays can never serve a stale set.
+func (x *TermExtractor) predefined(names []string) *predefinedSet {
+	if len(names) == 0 {
+		return emptyPredefined
+	}
+	key := strings.Join(names, "\x1f")
+	if v, ok := x.preSets.Load(key); ok {
+		return v.(*predefinedSet)
+	}
+	s := &predefinedSet{norm: map[string]bool{}, cui: map[string]bool{}}
+	for _, p := range names {
+		s.norm[lexicon.Normalize(p)] = true
+		if c := x.Ont.Lookup(p); c != nil {
+			s.cui[c.CUI] = true
+		}
+	}
+	v, _ := x.preSets.LoadOrStore(key, s)
+	return v.(*predefinedSet)
 }
 
 // ExtractedTerm is one ontology-confirmed term.
@@ -56,28 +96,40 @@ func (x *TermExtractor) Extract(body string, predefined []string) []ExtractedTer
 }
 
 // ExtractSentences finds the medical terms of pre-analyzed sentences and
-// classifies each as predefined or other.
+// classifies each as predefined or other. Sentences are tagged directly;
+// pipeline code holding a Document section should call ExtractSection so
+// the tagging is shared with the other extractors.
 func (x *TermExtractor) ExtractSentences(sents []textproc.Sentence, predefined []string) []ExtractedTerm {
-	preNorm := map[string]bool{}
-	preCUI := map[string]bool{}
-	for _, p := range predefined {
-		preNorm[lexicon.Normalize(p)] = true
-		if c := x.Ont.Lookup(p); c != nil {
-			preCUI[c.CUI] = true
-		}
-	}
+	return x.extract(sents, x.predefined(predefined), func(i int) []pos.TaggedToken {
+		return pos.TagSentence(sents[i])
+	})
+}
 
+// ExtractSection finds the medical terms of an analyzed Document section,
+// consuming the section's cached POS tagging: each sentence is tagged at
+// most once per Document regardless of how many extractors read it.
+func (x *TermExtractor) ExtractSection(sec *textproc.DocSection, predefined []string) []ExtractedTerm {
+	sents := sec.Sentences()
+	return x.extract(sents, x.predefined(predefined), func(i int) []pos.TaggedToken {
+		return pos.TagSection(sec, i)
+	})
+}
+
+// extract is the shared §3.2 scan: tagAt supplies the tagging of sentence
+// i (cached or direct).
+func (x *TermExtractor) extract(sents []textproc.Sentence, pre *predefinedSet, tagAt func(int) []pos.TaggedToken) []ExtractedTerm {
 	var out []ExtractedTerm
 	seen := map[string]bool{}
-	for _, sent := range sents {
-		tagged := pos.TagSentence(sent)
+	var wordBuf [4]string // candidate-word scratch; longest pattern is 3
+	for si, sent := range sents {
+		tagged := tagAt(si)
 		negFrom := 1 << 30
 		if x.FilterNegated {
 			negFrom = negationStart(sent)
 		}
 		i := 0
 		for i < len(tagged) {
-			term, span := x.matchAt(tagged, i)
+			term, span := x.matchAt(tagged, i, wordBuf[:0])
 			if term == nil {
 				i++
 				continue
@@ -90,9 +142,9 @@ func (x *TermExtractor) ExtractSentences(sents []textproc.Sentence, predefined [
 			if !seen[norm] {
 				seen[norm] = true
 				if x.ResolveSynonyms {
-					term.Predefined = preCUI[term.Concept.CUI]
+					term.Predefined = pre.cui[term.Concept.CUI]
 				} else {
-					term.Predefined = preNorm[norm]
+					term.Predefined = pre.norm[norm]
 				}
 				out = append(out, *term)
 			}
@@ -103,13 +155,15 @@ func (x *TermExtractor) ExtractSentences(sents []textproc.Sentence, predefined [
 }
 
 // matchAt tries the ordered patterns at token index i; on an ontology
-// hit it returns the term and the token span consumed.
-func (x *TermExtractor) matchAt(tagged []pos.TaggedToken, i int) (*ExtractedTerm, int) {
+// hit it returns the term and the token span consumed. words is caller
+// scratch reused across candidate positions, so the per-candidate probe
+// allocates nothing.
+func (x *TermExtractor) matchAt(tagged []pos.TaggedToken, i int, words []string) (*ExtractedTerm, int) {
 	for _, pat := range termPatterns {
 		if i+len(pat) > len(tagged) {
 			continue
 		}
-		words := make([]string, 0, len(pat))
+		words = words[:0]
 		ok := true
 		for j, test := range pat {
 			t := tagged[i+j]

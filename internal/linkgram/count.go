@@ -16,7 +16,8 @@ func CountLinkages(tagged []pos.TaggedToken) int {
 	if p == nil {
 		return 0
 	}
-	n := p.count(0, len(p.words), p.wallRight, nil, make(map[memoKey]int64))
+	defer p.release()
+	n := p.count(0, len(p.words), wallList, nil, make(map[memoKey]int64))
 	if n > CountCap {
 		return CountCap
 	}

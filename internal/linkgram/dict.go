@@ -1,52 +1,11 @@
 package linkgram
 
 import (
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/pos"
-)
-
-// Connector name inventory. Lists in this file are written NEAREST-FIRST,
-// the order of standard link grammar notation; the interner reverses them.
-//
-//	W   wall → sentence head (finite verb or fragment head)
-//	S   subject → finite verb
-//	O   verb/gerund → object
-//	Pa  copula → predicate adjective
-//	PP  have → past participle
-//	I   modal/do/to → base verb
-//	A   pre-nominal modifier → noun (relabeled AN when the modifier is a noun)
-//	D   determiner/possessive/cardinal → noun
-//	EN  approximator adverb → determiner target ("about a year")
-//	E   pre-verbal adverb → verb
-//	EA  adverb → adjective ("very significant")
-//	MV  verb → post-verbal modifier (preposition, adverb, "ago")
-//	M   noun/adjective → post-nominal preposition ("pulse of", "significant for")
-//	J   preposition → its object
-//	NM  noun → post-nominal number ("age 10", "gravida 4")
-//	T   time noun → "ago"
-//	CO  phrase tail → following comma/conjunction
-//	CC  comma/conjunction → following fragment head
-const (
-	cW  = "W"
-	cS  = "S"
-	cO  = "O"
-	cPa = "Pa"
-	cPP = "PP"
-	cI  = "I"
-	cA  = "A"
-	cD  = "D"
-	cEN = "EN"
-	cE  = "E"
-	cEA = "EA"
-	cMV = "MV"
-	cM  = "M"
-	cJ  = "J"
-	cNM = "NM"
-	cT  = "T"
-	cCO = "CO"
-	cCC = "CC"
-	cR  = "R" // noun → relative pronoun ("woman who underwent ...")
 )
 
 // idioms are multi-word expressions parsed as a single word. Each maps
@@ -56,13 +15,96 @@ var idioms = map[string]string{
 	"status post": "prep",
 }
 
-// dictBuilder accumulates the disjunct sets for one parse.
+// idiomSeq is one idiom pre-split into its word sequence, so matching a
+// token position never re-runs strings.Fields over the idioms map.
+type idiomSeq struct {
+	parts  []string
+	family string
+}
+
+// idiomSeqs is the idiom table in matching order: longest first, then
+// alphabetical, so overlapping idioms would resolve deterministically.
+var idiomSeqs = buildIdiomSeqs()
+
+func buildIdiomSeqs() []idiomSeq {
+	out := make([]idiomSeq, 0, len(idioms))
+	for idiom, family := range idioms {
+		out = append(out, idiomSeq{parts: strings.Fields(idiom), family: family})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].parts) != len(out[j].parts) {
+			return len(out[i].parts) > len(out[j].parts)
+		}
+		return strings.Join(out[i].parts, " ") < strings.Join(out[j].parts, " ")
+	})
+	return out
+}
+
+// idiomCands caches the disjuncts of each idiom family against the global
+// interner; read-only after init.
+var idiomCands = buildIdiomCands()
+
+func buildIdiomCands() map[string][]disjunct {
+	b := &dictBuilder{in: globalIntern}
+	out := map[string][]disjunct{}
+	for _, family := range []string{"conj", "prep"} {
+		out[family] = b.idiomDisjuncts(family)
+	}
+	return out
+}
+
+// candKey keys the process-wide disjunct candidate cache. Words whose
+// disjuncts depend only on their tag collapse to word "", so the cache
+// stays a couple dozen entries regardless of vocabulary size.
+type candKey struct {
+	word string // lower-cased word-dispatched word, or ""
+	tag  pos.Tag
+}
+
+// wordEntries is the single source of truth for words that carry their
+// own dictionary entry independent of tag: disjunctsFor dispatches
+// through it and cachedDisjuncts keys the cache by membership in it, so
+// the two can never drift apart.
+var wordEntries = map[string]func(b *dictBuilder) []disjunct{
+	",": (*dictBuilder).conjDisjuncts, ";": (*dictBuilder).conjDisjuncts,
+	"and": (*dictBuilder).conjDisjuncts, "or": (*dictBuilder).conjDisjuncts,
+	"but": (*dictBuilder).conjDisjuncts, "nor": (*dictBuilder).conjDisjuncts,
+	"ago": (*dictBuilder).agoDisjuncts,
+	"to":  (*dictBuilder).toDisjuncts,
+	"who": (*dictBuilder).relPronounDisjuncts, "which": (*dictBuilder).relPronounDisjuncts,
+	"that": (*dictBuilder).relPronounDisjuncts,
+}
+
+// candCache maps candKey → []disjunct built once per (word, tag) against
+// the global interner. Cached slices are shared across parses and
+// goroutines and must never be mutated.
+var candCache sync.Map
+
+// cachedDisjuncts returns the candidate disjuncts for a lower-cased word
+// and tag, building and caching them on first use.
+func cachedDisjuncts(lower string, tag pos.Tag) []disjunct {
+	k := candKey{word: lower, tag: tag}
+	if _, ok := wordEntries[lower]; !ok {
+		k.word = ""
+	}
+	if v, ok := candCache.Load(k); ok {
+		ds, _ := v.([]disjunct)
+		return ds
+	}
+	b := &dictBuilder{in: globalIntern}
+	built := b.disjunctsFor(lower, tag)
+	v, _ := candCache.LoadOrStore(k, built)
+	ds, _ := v.([]disjunct)
+	return ds
+}
+
+// dictBuilder accumulates the disjunct sets for one dictionary build.
 type dictBuilder struct {
 	in *interner
 }
 
 // dis builds one disjunct from nearest-first connector name lists.
-func (b *dictBuilder) dis(left, right []string) disjunct {
+func (b *dictBuilder) dis(left, right []connID) disjunct {
 	return disjunct{
 		left:  b.in.fromNearFirst(left),
 		right: b.in.fromNearFirst(right),
@@ -70,8 +112,8 @@ func (b *dictBuilder) dis(left, right []string) disjunct {
 }
 
 // cat concatenates name lists.
-func cat(lists ...[]string) []string {
-	var out []string
+func cat(lists ...[]connID) []connID {
+	var out []connID
 	for _, l := range lists {
 		out = append(out, l...)
 	}
@@ -84,34 +126,15 @@ func cat(lists ...[]string) []string {
 // cannot match anything in the sentence.
 func (b *dictBuilder) disjunctsFor(word string, tag pos.Tag) []disjunct {
 	w := strings.ToLower(word)
-	switch {
-	case w == "," || w == ";" || w == "and" || w == "or" || w == "but" || w == "nor":
-		return []disjunct{
-			b.dis([]string{cCO}, []string{cCC}),
-			b.dis([]string{cCC}, []string{cCC}),
-		}
-	case w == "ago":
-		return []disjunct{
-			b.dis([]string{cT, cMV}, nil),
-			b.dis([]string{cT, cM}, nil),
-			b.dis([]string{cT, cCC}, nil),
-		}
-	case w == "to":
-		return []disjunct{b.dis([]string{cI}, []string{cI})}
-	case w == "who" || w == "which" || w == "that":
-		// Relative pronoun: links left to its head noun, right to the
-		// relative clause's verb as its subject.
-		return []disjunct{
-			b.dis([]string{cR}, []string{cS}),
-			b.dis(nil, []string{cS}), // plain subject reading for "that/which"
-		}
+	if entry, ok := wordEntries[w]; ok {
+		return entry(b)
 	}
 
 	switch {
 	case tag == pos.DT || tag == pos.PRS:
 		return []disjunct{
-			b.dis(nil, []string{cD}),
-			b.dis([]string{cEN}, []string{cD}),
+			b.dis(nil, []connID{cD}),
+			b.dis([]connID{cEN}, []connID{cD}),
 		}
 	case tag == pos.CD:
 		return b.numberDisjuncts()
@@ -119,9 +142,9 @@ func (b *dictBuilder) disjunctsFor(word string, tag pos.Tag) []disjunct {
 		return b.nounDisjuncts()
 	case tag == pos.PRP:
 		return []disjunct{
-			b.dis(nil, []string{cS}),
-			b.dis([]string{cO}, nil),
-			b.dis([]string{cJ}, nil),
+			b.dis(nil, []connID{cS}),
+			b.dis([]connID{cO}, nil),
+			b.dis([]connID{cJ}, nil),
 		}
 	case tag == pos.VBZ || tag == pos.VBD || tag == pos.VBP:
 		return b.finiteVerbDisjuncts()
@@ -137,24 +160,58 @@ func (b *dictBuilder) disjunctsFor(word string, tag pos.Tag) []disjunct {
 		return b.adjectiveDisjuncts()
 	case tag == pos.RB:
 		return []disjunct{
-			b.dis(nil, []string{cE}),  // pre-verbal: "never smoked"
-			b.dis([]string{cMV}, nil), // post-verbal: "is currently"
-			b.dis(nil, []string{cEA}), // adjective modifier: "very significant"
-			b.dis(nil, []string{cEN}), // approximator: "about a year"
-			b.dis([]string{cCC}, nil), // fragment after comma: ", occasionally"
-			b.dis([]string{cMV}, []string{cCO}),
+			b.dis(nil, []connID{cE}),  // pre-verbal: "never smoked"
+			b.dis([]connID{cMV}, nil), // post-verbal: "is currently"
+			b.dis(nil, []connID{cEA}), // adjective modifier: "very significant"
+			b.dis(nil, []connID{cEN}), // approximator: "about a year"
+			b.dis([]connID{cCC}, nil), // fragment after comma: ", occasionally"
+			b.dis([]connID{cMV}, []connID{cCO}),
 		}
 	case tag == pos.IN:
 		return []disjunct{
-			b.dis([]string{cM}, []string{cJ}),  // post-nominal: "pulse of 84"
-			b.dis([]string{cMV}, []string{cJ}), // post-verbal: "quit in 1990"
-			b.dis([]string{cW}, []string{cJ}),  // sentence-initial
-			b.dis([]string{cCC}, []string{cJ}), // fragment head after comma
+			b.dis([]connID{cM}, []connID{cJ}),  // post-nominal: "pulse of 84"
+			b.dis([]connID{cMV}, []connID{cJ}), // post-verbal: "quit in 1990"
+			b.dis([]connID{cW}, []connID{cJ}),  // sentence-initial
+			b.dis([]connID{cCC}, []connID{cJ}), // fragment head after comma
 		}
 	case tag == pos.EX:
-		return []disjunct{b.dis(nil, []string{cS})} // "There is no ..."
+		return []disjunct{b.dis(nil, []connID{cS})} // "There is no ..."
 	default:
 		return nil // UH, SYM: unconnectable; parser drops or fails
+	}
+}
+
+// conjDisjuncts covers commas, semicolons and coordinating conjunctions:
+// a CO link to the preceding phrase tail and a CC link to the following
+// fragment head.
+func (b *dictBuilder) conjDisjuncts() []disjunct {
+	return []disjunct{
+		b.dis([]connID{cCO}, []connID{cCC}),
+		b.dis([]connID{cCC}, []connID{cCC}),
+	}
+}
+
+// agoDisjuncts covers "ago": a T link back to its time noun plus the
+// attachment of the whole time phrase.
+func (b *dictBuilder) agoDisjuncts() []disjunct {
+	return []disjunct{
+		b.dis([]connID{cT, cMV}, nil),
+		b.dis([]connID{cT, cM}, nil),
+		b.dis([]connID{cT, cCC}, nil),
+	}
+}
+
+// toDisjuncts covers infinitival "to".
+func (b *dictBuilder) toDisjuncts() []disjunct {
+	return []disjunct{b.dis([]connID{cI}, []connID{cI})}
+}
+
+// relPronounDisjuncts covers relative pronouns: links left to the head
+// noun, right to the relative clause's verb as its subject.
+func (b *dictBuilder) relPronounDisjuncts() []disjunct {
+	return []disjunct{
+		b.dis([]connID{cR}, []connID{cS}),
+		b.dis(nil, []connID{cS}), // plain subject reading for "that/which"
 	}
 }
 
@@ -165,7 +222,7 @@ func (b *dictBuilder) nounDisjuncts() []disjunct {
 	var out []disjunct
 	for _, base := range leftBases() {
 		// Modifier role: the noun itself modifies a following noun.
-		out = append(out, b.dis(base, []string{cA}))
+		out = append(out, b.dis(base, []connID{cA}))
 		for _, extras := range rightExtras() {
 			// Bare adjunct role: the noun hangs off a later word through
 			// a right extra alone ("five years ago": years—T—ago).
@@ -174,34 +231,34 @@ func (b *dictBuilder) nounDisjuncts() []disjunct {
 			}
 			// Subject role. The CO+ may sit nearer than S+ when an
 			// apposition interrupts: "Pulse, noted ..., was 96".
-			out = append(out, b.dis(base, cat(extras, []string{cS})))
-			out = append(out, b.dis(base, cat(extras, []string{cS, cCO})))
-			out = append(out, b.dis(base, cat(extras, []string{cCO, cS})))
+			out = append(out, b.dis(base, cat(extras, []connID{cS})))
+			out = append(out, b.dis(base, cat(extras, []connID{cS, cCO})))
+			out = append(out, b.dis(base, cat(extras, []connID{cCO, cS})))
 			// Object role.
-			out = append(out, b.dis(cat(base, []string{cO}), extras))
-			out = append(out, b.dis(cat(base, []string{cO}), cat(extras, []string{cCO})))
+			out = append(out, b.dis(cat(base, []connID{cO}), extras))
+			out = append(out, b.dis(cat(base, []connID{cO}), cat(extras, []connID{cCO})))
 			// Preposition-object role.
-			out = append(out, b.dis(cat(base, []string{cJ}), extras))
-			out = append(out, b.dis(cat(base, []string{cJ}), cat(extras, []string{cCO})))
+			out = append(out, b.dis(cat(base, []connID{cJ}), extras))
+			out = append(out, b.dis(cat(base, []connID{cJ}), cat(extras, []connID{cCO})))
 			// Fragment head after comma/conjunction, and sentence head.
-			out = append(out, b.dis(cat(base, []string{cCC}), extras))
-			out = append(out, b.dis(cat(base, []string{cCC}), cat(extras, []string{cCO})))
-			out = append(out, b.dis(cat(base, []string{cW}), extras))
-			out = append(out, b.dis(cat(base, []string{cW}), cat(extras, []string{cCO})))
+			out = append(out, b.dis(cat(base, []connID{cCC}), extras))
+			out = append(out, b.dis(cat(base, []connID{cCC}), cat(extras, []connID{cCO})))
+			out = append(out, b.dis(cat(base, []connID{cW}), extras))
+			out = append(out, b.dis(cat(base, []connID{cW}), cat(extras, []connID{cCO})))
 		}
 	}
 	return out
 }
 
 // leftBases enumerates noun left-modifier prefixes, nearest-first.
-func leftBases() [][]string {
-	mods := [][]string{nil, {cA}, {cA, cA}, {cA, cA, cA}}
-	var out [][]string
+func leftBases() [][]connID {
+	mods := [][]connID{nil, {cA}, {cA, cA}, {cA, cA, cA}}
+	var out [][]connID
 	for _, m := range mods {
 		out = append(out, m)
-		out = append(out, cat(m, []string{cD}))
-		out = append(out, cat(m, []string{cD, cEN}))
-		out = append(out, cat(m, []string{cEN}))
+		out = append(out, cat(m, []connID{cD}))
+		out = append(out, cat(m, []connID{cD, cEN}))
+		out = append(out, cat(m, []connID{cEN}))
 	}
 	return out
 }
@@ -209,8 +266,8 @@ func leftBases() [][]string {
 // rightExtras enumerates optional right-side noun attachments,
 // nearest-first: a post-nominal number, a time link to "ago", a
 // post-nominal preposition.
-func rightExtras() [][]string {
-	return [][]string{
+func rightExtras() [][]connID {
+	return [][]connID{
 		nil,
 		{cNM},
 		{cT},
@@ -229,15 +286,15 @@ func (b *dictBuilder) idiomDisjuncts(family string) []disjunct {
 	switch family {
 	case "conj":
 		return []disjunct{
-			b.dis([]string{cCO}, []string{cCC}),
-			b.dis([]string{cCC}, []string{cCC}),
+			b.dis([]connID{cCO}, []connID{cCC}),
+			b.dis([]connID{cCC}, []connID{cCC}),
 		}
 	case "prep":
 		return []disjunct{
-			b.dis([]string{cM}, []string{cJ}),
-			b.dis([]string{cMV}, []string{cJ}),
-			b.dis([]string{cW}, []string{cJ}),
-			b.dis([]string{cCC}, []string{cJ}),
+			b.dis([]connID{cM}, []connID{cJ}),
+			b.dis([]connID{cMV}, []connID{cJ}),
+			b.dis([]connID{cW}, []connID{cJ}),
+			b.dis([]connID{cCC}, []connID{cJ}),
 		}
 	}
 	return nil
@@ -247,35 +304,36 @@ func (b *dictBuilder) idiomDisjuncts(family string) []disjunct {
 func (b *dictBuilder) numberDisjuncts() []disjunct {
 	var out []disjunct
 	// Determiner-like: "five years", "15 years", "four to seven features".
-	out = append(out, b.dis(nil, []string{cD}))
-	out = append(out, b.dis([]string{cEN}, []string{cD}))
+	out = append(out, b.dis(nil, []connID{cD}))
+	out = append(out, b.dis([]connID{cEN}, []connID{cD}))
 	// Value roles: object, prep object, post-nominal.
-	for _, role := range []string{cO, cJ, cNM} {
-		out = append(out, b.dis([]string{role}, nil))
-		out = append(out, b.dis([]string{role}, []string{cCO}))
-		out = append(out, b.dis([]string{cEN, role}, nil))
-		out = append(out, b.dis([]string{cEN, role}, []string{cCO}))
-		out = append(out, b.dis([]string{role}, []string{cNM}))
-		out = append(out, b.dis([]string{role}, []string{cNM, cCO}))
+	for _, role := range []connID{cO, cJ, cNM} {
+		out = append(out, b.dis([]connID{role}, nil))
+		out = append(out, b.dis([]connID{role}, []connID{cCO}))
+		out = append(out, b.dis([]connID{cEN, role}, nil))
+		out = append(out, b.dis([]connID{cEN, role}, []connID{cCO}))
+		out = append(out, b.dis([]connID{role}, []connID{cNM}))
+		out = append(out, b.dis([]connID{role}, []connID{cNM, cCO}))
 	}
 	// Fragment head: "..., 15 years" handled by years; bare "15" heads:
-	out = append(out, b.dis([]string{cCC}, nil))
-	out = append(out, b.dis([]string{cCC}, []string{cCO}))
-	out = append(out, b.dis([]string{cW}, nil))
-	out = append(out, b.dis([]string{cW}, []string{cCO}))
+	out = append(out, b.dis([]connID{cCC}, nil))
+	out = append(out, b.dis([]connID{cCC}, []connID{cCO}))
+	out = append(out, b.dis([]connID{cW}, nil))
+	out = append(out, b.dis([]connID{cW}, []connID{cCO}))
 	return out
 }
 
 // verbRights enumerates verb right-side variants: a complement, an
-// optional MV+ on either side of it, and an optional trailing CO+.
-func verbRights(complements ...string) [][]string {
-	var out [][]string
+// optional MV+ on either side of it, and an optional trailing CO+. The
+// cNone complement stands for "no complement".
+func verbRights(complements ...connID) [][]connID {
+	var out [][]connID
 	for _, c := range complements {
-		var bases [][]string
-		if c == "" {
-			bases = [][]string{nil, {cMV}, {cMV, cMV}}
+		var bases [][]connID
+		if c == cNone {
+			bases = [][]connID{nil, {cMV}, {cMV, cMV}}
 		} else {
-			bases = [][]string{
+			bases = [][]connID{
 				{c},
 				{cMV, c},
 				{c, cMV},
@@ -284,7 +342,7 @@ func verbRights(complements ...string) [][]string {
 		}
 		for _, bb := range bases {
 			out = append(out, bb)
-			out = append(out, cat(bb, []string{cCO}))
+			out = append(out, cat(bb, []connID{cCO}))
 		}
 	}
 	return out
@@ -292,8 +350,8 @@ func verbRights(complements ...string) [][]string {
 
 // verbLefts enumerates finite-verb left-side variants: optional pre-verbal
 // adverb, optional subject, optional wall.
-func verbLefts() [][]string {
-	return [][]string{
+func verbLefts() [][]connID {
+	return [][]connID{
 		{cS},
 		{cS, cW},
 		{cW},
@@ -309,7 +367,7 @@ func verbLefts() [][]string {
 
 func (b *dictBuilder) finiteVerbDisjuncts() []disjunct {
 	var out []disjunct
-	rights := verbRights("", cO, cPa, cPP, cI)
+	rights := verbRights(cNone, cO, cPa, cPP, cI)
 	for _, l := range verbLefts() {
 		for _, r := range rights {
 			out = append(out, b.dis(l, r))
@@ -330,8 +388,8 @@ func (b *dictBuilder) modalDisjuncts() []disjunct {
 
 func (b *dictBuilder) baseVerbDisjuncts() []disjunct {
 	var out []disjunct
-	rights := verbRights("", cO, cPa)
-	lefts := [][]string{{cI}, {cE, cI}}
+	rights := verbRights(cNone, cO, cPa)
+	lefts := [][]connID{{cI}, {cE, cI}}
 	for _, l := range lefts {
 		for _, r := range rights {
 			out = append(out, b.dis(l, r))
@@ -342,8 +400,8 @@ func (b *dictBuilder) baseVerbDisjuncts() []disjunct {
 
 func (b *dictBuilder) participleDisjuncts() []disjunct {
 	var out []disjunct
-	rights := verbRights("", cO)
-	lefts := [][]string{{cPP}, {cE, cPP}, {cCC}, {cW}}
+	rights := verbRights(cNone, cO)
+	lefts := [][]connID{{cPP}, {cE, cPP}, {cCC}, {cW}}
 	for _, l := range lefts {
 		for _, r := range rights {
 			out = append(out, b.dis(l, r))
@@ -354,8 +412,8 @@ func (b *dictBuilder) participleDisjuncts() []disjunct {
 
 func (b *dictBuilder) gerundDisjuncts() []disjunct {
 	var out []disjunct
-	rights := verbRights("", cO)
-	lefts := [][]string{{cO}, {cJ}, {cW}, {cCC}, {cS, cW}, {cS}}
+	rights := verbRights(cNone, cO)
+	lefts := [][]connID{{cO}, {cJ}, {cW}, {cCC}, {cS, cW}, {cS}}
 	for _, l := range lefts {
 		for _, r := range rights {
 			out = append(out, b.dis(l, r))
@@ -367,13 +425,13 @@ func (b *dictBuilder) gerundDisjuncts() []disjunct {
 func (b *dictBuilder) adjectiveDisjuncts() []disjunct {
 	out := []disjunct{
 		// Attributive.
-		b.dis(nil, []string{cA}),
-		b.dis([]string{cEA}, []string{cA}),
+		b.dis(nil, []connID{cA}),
+		b.dis([]connID{cEA}, []connID{cA}),
 	}
 	// Predicative and fragment-head roles, with optional post-modifier
 	// preposition and trailing comma link.
-	for _, l := range [][]string{{cPa}, {cEA, cPa}, {cCC}, {cW}} {
-		for _, r := range [][]string{nil, {cM}, {cCO}, {cM, cCO}, {cM, cM}} {
+	for _, l := range [][]connID{{cPa}, {cEA, cPa}, {cCC}, {cW}} {
+		for _, r := range [][]connID{nil, {cM}, {cCO}, {cM, cCO}, {cM, cM}} {
 			out = append(out, b.dis(l, r))
 		}
 	}

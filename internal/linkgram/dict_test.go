@@ -9,18 +9,18 @@ import (
 
 func TestInternerSharesSuffixes(t *testing.T) {
 	in := newInterner()
-	a := in.fromNearFirst([]string{"S", "W"})
-	b := in.fromNearFirst([]string{"S", "W"})
+	a := in.fromNearFirst([]connID{cS, cW})
+	b := in.fromNearFirst([]connID{cS, cW})
 	if a != b {
 		t.Error("identical lists not interned to the same node")
 	}
 	// Lists sharing a tail share nodes: far-first for [S,W] is W→S and
 	// for [O,W] is W→O — shared head only when the FAR suffix matches.
-	c := in.fromNearFirst([]string{"W"})
+	c := in.fromNearFirst([]connID{cW})
 	if listID(c) == 0 {
 		t.Error("single-connector list has zero id")
 	}
-	if a.next == nil || a.next.name != "S" {
+	if a.next == nil || a.next.name != cS {
 		t.Errorf("far-first ordering broken: %v", listNames(a))
 	}
 }

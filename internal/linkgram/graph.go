@@ -16,7 +16,7 @@ type WeightFunc func(label string) float64
 // its own phrase than to one in a neighbouring phrase.
 func DefaultWeights(label string) float64 {
 	switch label {
-	case cCO, cCC:
+	case "CO", "CC": // coordination links (connNames[cCO], connNames[cCC])
 		return 2
 	default:
 		return 1

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/pos"
 	"repro/internal/textproc"
@@ -41,18 +42,24 @@ const MaxWords = 28
 
 // Parse parses a tagged sentence and returns its first complete linkage.
 func Parse(tagged []pos.TaggedToken) (*Linkage, error) {
+	parsePasses.Add(1)
 	p := newParser(tagged)
 	if p == nil {
 		return nil, ErrNoLinkage
 	}
-	if !p.feasible(0, len(p.words), p.wallRight, nil) {
+	defer p.release()
+	if !p.feasible(0, len(p.words), wallList, nil) {
 		return nil, ErrNoLinkage
 	}
 	var links []Link
-	if !p.build(0, len(p.words), p.wallRight, nil, &links) {
+	if !p.build(0, len(p.words), wallList, nil, &links) {
 		return nil, ErrNoLinkage
 	}
-	return &Linkage{Words: p.words, Links: p.relabel(links)}, nil
+	// The parser scratch is recycled; the returned Linkage gets its own
+	// copy of the word list.
+	words := make([]ParseWord, len(p.words))
+	copy(words, p.words)
+	return &Linkage{Words: words, Links: p.relabel(links)}, nil
 }
 
 // ParseSentence tags and parses a textproc sentence in one call.
@@ -60,31 +67,71 @@ func ParseSentence(s textproc.Sentence) (*Linkage, error) {
 	return Parse(pos.TagSentence(s))
 }
 
-type parser struct {
-	words     []ParseWord // index 0 is the wall; parse positions == indices
-	cands     [][]disjunct
-	in        *interner
-	wallRight *node
-	memo      map[memoKey]bool
+// ParseSection parses sentence i of an analyzed section at most once per
+// Document, memoizing both the linkage and the ErrNoLinkage outcome: all
+// consumers of the shared analysis see the same result, and an
+// unparseable sentence pays the parse attempt exactly once. Tagging goes
+// through pos.TagSection, so the sentence is also tagged at most once.
+// Safe for concurrent use.
+func ParseSection(sec *textproc.DocSection, i int) (*Linkage, error) {
+	v, err := sec.Derived(i).Parse(func() (any, error) {
+		lk, err := Parse(pos.TagSection(sec, i))
+		if err != nil {
+			return nil, err
+		}
+		return lk, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lk, _ := v.(*Linkage)
+	return lk, nil
 }
 
+// parser holds the per-parse scratch: parse words, pruned candidate
+// disjuncts, the arena the pruned candidates live in, and the DP memo.
+// Instances are recycled through parserPool; newParser resets them.
+type parser struct {
+	words  []ParseWord // index 0 is the wall; parse positions == indices
+	cands  [][]disjunct
+	arena  []disjunct // backing for pruned candidate lists
+	memo   [][]memoEnt
+	stride int // memo row width: len(words)+1 (R ranges to the sentinel)
+}
+
+// memoEnt is one memoized feasibility answer for a region (L, R): the
+// remaining connector-list IDs of the boundary words and the result. The
+// region's entries live in a small bucket scanned linearly — the dense
+// (L,R)-indexed replacement for the old map[memoKey]bool.
+type memoEnt struct {
+	le, re int32
+	val    bool
+}
+
+// memoKey keys the linkage-counting memo (count.go), which keeps a map:
+// counting is a diagnostic path, not the extraction hot path.
 type memoKey struct {
 	l, r   int16
 	le, re int32
 }
 
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
+// release returns the parser scratch to the pool.
+func (p *parser) release() {
+	parserPool.Put(p)
+}
+
 // newParser prepares parse words, candidate disjuncts, and pruning.
 // It returns nil when the sentence is unparseable a priori.
 func newParser(tagged []pos.TaggedToken) *parser {
-	in := newInterner()
-	b := &dictBuilder{in: in}
-
-	words := []ParseWord{{Text: "LEFT-WALL", TokenIndex: -1}}
-	var cands [][]disjunct
-	cands = append(cands, nil) // wall's disjuncts handled via wallRight
+	p := parserPool.Get().(*parser)
+	p.words = append(p.words[:0], ParseWord{Text: "LEFT-WALL", TokenIndex: -1})
+	p.cands = p.cands[:0]
+	p.arena = p.arena[:0]
+	p.cands = append(p.cands, nil) // wall's disjuncts handled via wallList
 	for i := 0; i < len(tagged); i++ {
 		t := tagged[i]
-		txt := strings.ToLower(t.Text)
 		// Multi-word idioms parse as one word ("as well as" behaves as a
 		// conjunction).
 		if family, span := matchIdiom(tagged, i); span > 0 {
@@ -92,8 +139,8 @@ func newParser(tagged []pos.TaggedToken) *parser {
 			for _, xt := range tagged[i+1 : i+span] {
 				joined += " " + xt.Text
 			}
-			words = append(words, ParseWord{Text: joined, Tag: t.Tag, TokenIndex: i})
-			cands = append(cands, b.idiomDisjuncts(family))
+			p.words = append(p.words, ParseWord{Text: joined, Tag: t.Tag, TokenIndex: i})
+			p.cands = append(p.cands, idiomCands[family])
 			i += span - 1
 			continue
 		}
@@ -101,53 +148,63 @@ func newParser(tagged []pos.TaggedToken) *parser {
 		case textproc.Punct, textproc.Symbol:
 			// Keep only coordination punctuation; drop the rest (final
 			// periods, quotes, parens).
-			if txt != "," && txt != ";" {
+			if t.Text != "," && t.Text != ";" {
 				continue
 			}
 		}
-		ds := b.disjunctsFor(t.Text, t.Tag)
+		ds := cachedDisjuncts(strings.ToLower(t.Text), t.Tag)
 		if ds == nil {
 			// A word with no connector candidates (interjections) makes a
 			// full linkage impossible.
 			if t.Kind == textproc.Word || t.Kind == textproc.Number {
+				p.release()
 				return nil
 			}
 			continue
 		}
-		words = append(words, ParseWord{Text: t.Text, Tag: t.Tag, TokenIndex: i})
-		cands = append(cands, ds)
+		p.words = append(p.words, ParseWord{Text: t.Text, Tag: t.Tag, TokenIndex: i})
+		p.cands = append(p.cands, ds)
 	}
-	if len(words) <= 1 || len(words) > MaxWords {
+	if len(p.words) <= 1 || len(p.words) > MaxWords {
+		p.release()
 		return nil
 	}
-	p := &parser{
-		words:     words,
-		cands:     cands,
-		in:        in,
-		wallRight: in.fromNearFirst([]string{cW}),
-		memo:      make(map[memoKey]bool),
-	}
+	p.resetMemo()
 	p.prune()
 	return p
+}
+
+// resetMemo sizes the dense (L, R) bucket table for the current word
+// count and empties every bucket, keeping their backing arrays.
+func (p *parser) resetMemo() {
+	p.stride = len(p.words) + 1
+	n := p.stride * p.stride
+	if cap(p.memo) < n {
+		p.memo = make([][]memoEnt, n)
+		return
+	}
+	p.memo = p.memo[:n]
+	for i := range p.memo {
+		p.memo[i] = p.memo[i][:0]
+	}
 }
 
 // matchIdiom reports the idiom family and token span when the tokens at
 // position i start a known multi-word idiom.
 func matchIdiom(tagged []pos.TaggedToken, i int) (string, int) {
-	for idiom, family := range idioms {
-		parts := strings.Fields(idiom)
-		if i+len(parts) > len(tagged) {
+	for _, seq := range idiomSeqs {
+		if i+len(seq.parts) > len(tagged) {
 			continue
 		}
 		ok := true
-		for j, p := range parts {
-			if !strings.EqualFold(tagged[i+j].Text, p) {
+		for j, part := range seq.parts {
+			if !strings.EqualFold(tagged[i+j].Text, part) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			return family, len(parts)
+			return seq.family, len(seq.parts)
 		}
 	}
 	return "", 0
@@ -155,12 +212,16 @@ func matchIdiom(tagged []pos.TaggedToken, i int) (string, int) {
 
 // prune repeatedly drops disjuncts with a connector that cannot match any
 // connector of any other word on the required side ("power pruning").
+// The first pass filters the shared cached candidate lists into the
+// per-parse arena — cached lists are immutable — and later passes filter
+// the arena slices in place.
 func (p *parser) prune() {
+	inArena := false
 	for pass := 0; pass < 6; pass++ {
-		// rightAvail[name] = true if some word offers name right-pointing
-		// (including the wall). leftAvail likewise.
-		rightAvail := map[string]bool{cW: true}
-		leftAvail := map[string]bool{}
+		// rightAvail[c] = true if some word offers connector c
+		// right-pointing (including the wall). leftAvail likewise.
+		var rightAvail, leftAvail [nConn]bool
+		rightAvail[cW] = true
 		for i := 1; i < len(p.words); i++ {
 			for _, d := range p.cands[i] {
 				for n := d.right; n != nil; n = n.next {
@@ -173,27 +234,52 @@ func (p *parser) prune() {
 		}
 		changed := false
 		for i := 1; i < len(p.words); i++ {
-			kept := p.cands[i][:0]
-			for _, d := range p.cands[i] {
-				ok := true
-				for n := d.left; n != nil && ok; n = n.next {
-					ok = rightAvail[n.name]
+			src := p.cands[i]
+			var kept []disjunct
+			if inArena {
+				kept = src[:0]
+				for _, d := range src {
+					if disjunctViable(d, &rightAvail, &leftAvail) {
+						kept = append(kept, d)
+					}
 				}
-				for n := d.right; n != nil && ok; n = n.next {
-					ok = leftAvail[n.name]
+			} else {
+				start := len(p.arena)
+				for _, d := range src {
+					if disjunctViable(d, &rightAvail, &leftAvail) {
+						p.arena = append(p.arena, d)
+					}
 				}
-				if ok {
-					kept = append(kept, d)
-				} else {
-					changed = true
-				}
+				// Cap the slice at its end so later words' appends to the
+				// arena can never alias this word's survivors.
+				kept = p.arena[start:len(p.arena):len(p.arena)]
+			}
+			if len(kept) != len(src) {
+				changed = true
 			}
 			p.cands[i] = kept
 		}
+		inArena = true
 		if !changed {
 			return
 		}
 	}
+}
+
+// disjunctViable reports whether every connector of d can match some
+// connector offered by another word on the required side.
+func disjunctViable(d disjunct, rightAvail, leftAvail *[nConn]bool) bool {
+	for n := d.left; n != nil; n = n.next {
+		if !rightAvail[n.name] {
+			return false
+		}
+	}
+	for n := d.right; n != nil; n = n.next {
+		if !leftAvail[n.name] {
+			return false
+		}
+	}
+	return true
 }
 
 // feasible implements the Sleator–Temperley region count as a boolean:
@@ -205,13 +291,20 @@ func (p *parser) feasible(L, R int, le, re *node) bool {
 	if L+1 == R {
 		return le == nil && re == nil
 	}
-	key := memoKey{l: int16(L), r: int16(R), le: listID(le), re: listID(re)}
-	if v, ok := p.memo[key]; ok {
-		return v
+	bi := L*p.stride + R
+	li, ri := listID(le), listID(re)
+	bucket := p.memo[bi]
+	for k := range bucket {
+		if bucket[k].le == li && bucket[k].re == ri {
+			return bucket[k].val
+		}
 	}
-	p.memo[key] = false // guard against (impossible) cycles
+	// Insert a false placeholder first (guards against impossible cycles),
+	// then fill in the computed answer.
+	idx := len(bucket)
+	p.memo[bi] = append(bucket, memoEnt{le: li, re: ri})
 	res := p.anyWord(L, R, le, re, nil)
-	p.memo[key] = res
+	p.memo[bi][idx].val = res
 	return res
 }
 
@@ -239,7 +332,9 @@ func (p *parser) anyWord(L, R int, le, re *node, out *[]Link) bool {
 						if out == nil {
 							return true
 						}
-						*out = append(*out, Link{Left: L, Right: W, Label: le.name}, Link{Left: W, Right: R, Label: re.name})
+						*out = append(*out,
+							Link{Left: L, Right: W, Label: connNames[le.name]},
+							Link{Left: W, Right: R, Label: connNames[re.name]})
 						if p.build(L, W, le.next, d.left.next, out) && p.build(W, R, d.right.next, re.next, out) {
 							return true
 						}
@@ -250,7 +345,7 @@ func (p *parser) anyWord(L, R int, le, re *node, out *[]Link) bool {
 						if out == nil {
 							return true
 						}
-						*out = append(*out, Link{Left: L, Right: W, Label: le.name})
+						*out = append(*out, Link{Left: L, Right: W, Label: connNames[le.name]})
 						if p.build(L, W, le.next, d.left.next, out) && p.build(W, R, d.right, re, out) {
 							return true
 						}
@@ -264,7 +359,7 @@ func (p *parser) anyWord(L, R int, le, re *node, out *[]Link) bool {
 					if out == nil {
 						return true
 					}
-					*out = append(*out, Link{Left: W, Right: R, Label: re.name})
+					*out = append(*out, Link{Left: W, Right: R, Label: connNames[re.name]})
 					if p.build(L, W, nil, d.left, out) && p.build(W, R, d.right.next, re.next, out) {
 						return true
 					}
@@ -294,7 +389,7 @@ func (p *parser) relabel(links []Link) []Link {
 		if l.Right >= len(p.words) {
 			continue // sentinel link cannot occur, but be safe
 		}
-		if l.Label == cA && p.words[l.Left].Tag.IsNoun() {
+		if l.Label == connNames[cA] && p.words[l.Left].Tag.IsNoun() {
 			l.Label = "AN"
 		}
 		kept = append(kept, l)

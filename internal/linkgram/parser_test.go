@@ -223,7 +223,7 @@ func TestGraphUnreachable(t *testing.T) {
 
 func TestListNamesOrder(t *testing.T) {
 	in := newInterner()
-	l := in.fromNearFirst([]string{"S", "W"})
+	l := in.fromNearFirst([]connID{cS, cW})
 	got := listNames(l)
 	if len(got) != 2 || got[0] != "S" || got[1] != "W" {
 		t.Errorf("listNames = %v, want [S W]", got)

@@ -1,0 +1,76 @@
+package linkgram
+
+import (
+	"testing"
+
+	"repro/internal/pos"
+	"repro/internal/textproc"
+)
+
+// TestParseSectionMemoizesLinkage pins the parse-once contract: repeated
+// ParseSection calls on the same Document sentence return the identical
+// linkage and run exactly one parse pass.
+func TestParseSectionMemoizesLinkage(t *testing.T) {
+	doc := textproc.Analyze("Vitals:  Blood pressure is 144/90. Pulse of 96.\n")
+	sec, ok := doc.Section("Vitals")
+	if !ok {
+		t.Fatal("no Vitals section")
+	}
+	if n := len(sec.Sentences()); n != 2 {
+		t.Fatalf("want 2 sentences, got %d", n)
+	}
+
+	p0 := ParsePasses()
+	first, err := ParseSection(sec, 0)
+	if err != nil {
+		t.Fatalf("ParseSection: %v", err)
+	}
+	if got := ParsePasses() - p0; got != 1 {
+		t.Errorf("first ParseSection ran %d parse passes, want 1", got)
+	}
+	p1 := ParsePasses()
+	again, err := ParseSection(sec, 0)
+	if err != nil {
+		t.Fatalf("ParseSection again: %v", err)
+	}
+	if again != first {
+		t.Error("repeated ParseSection returned a different Linkage pointer")
+	}
+	if got := ParsePasses() - p1; got != 0 {
+		t.Errorf("cached ParseSection ran %d parse passes, want 0", got)
+	}
+
+	// Tagging is shared through the same slots.
+	t0 := pos.TagPasses()
+	pos.TagSection(sec, 0)
+	pos.TagSection(sec, 1)
+	ParseSection(sec, 1)
+	if got := pos.TagPasses() - t0; got != 1 {
+		t.Errorf("cached tag views ran %d tag passes, want 1 (sentence 1 only)", got)
+	}
+}
+
+// TestParseSectionMemoizesNoLinkage pins that the ErrNoLinkage outcome is
+// cached too: an unparseable sentence pays the parse attempt exactly once
+// per Document.
+func TestParseSectionMemoizesNoLinkage(t *testing.T) {
+	doc := textproc.Analyze("Vitals:  for with tobacco.\n")
+	sec, ok := doc.Section("Vitals")
+	if !ok {
+		t.Fatal("no Vitals section")
+	}
+	p0 := ParsePasses()
+	if _, err := ParseSection(sec, 0); err != ErrNoLinkage {
+		t.Fatalf("want ErrNoLinkage, got %v", err)
+	}
+	if got := ParsePasses() - p0; got != 1 {
+		t.Errorf("first failed ParseSection ran %d parse passes, want 1", got)
+	}
+	p1 := ParsePasses()
+	if _, err := ParseSection(sec, 0); err != ErrNoLinkage {
+		t.Fatalf("cached failure: want ErrNoLinkage, got %v", err)
+	}
+	if got := ParsePasses() - p1; got != 0 {
+		t.Errorf("cached failed ParseSection ran %d parse passes, want 0", got)
+	}
+}

@@ -1,0 +1,13 @@
+package linkgram
+
+import "sync/atomic"
+
+// parsePasses counts full parse attempts (successful or not) process-wide,
+// mirroring textproc.AnalysisCounts and pos.TagPasses. Tests snapshot it
+// around an operation to pin the parse-at-most-once property of the shared
+// Document analysis.
+var parsePasses atomic.Uint64
+
+// ParsePasses returns the cumulative number of parse attempts performed
+// process-wide.
+func ParsePasses() uint64 { return parsePasses.Load() }

@@ -9,11 +9,14 @@ import (
 )
 
 // Ontology is a loaded medical vocabulary: concepts stored in an embedded
-// store table and indexed by normalized surface string.
+// store table (the persistence layer and ablation baseline) and mirrored
+// in in-memory maps so the extraction hot path pays one probe per lookup.
 type Ontology struct {
 	db       *store.DB
 	terms    *store.Table // one row per (normalized surface form → CUI)
 	concepts map[string]*Concept
+	byNorm   map[string]*Concept // normalized surface form → concept
+	byName   map[string]*Concept // lower-cased preferred name → concept
 	coverage float64
 	synonyms bool
 }
@@ -67,9 +70,14 @@ func New(opts Options) (*Ontology, error) {
 		db:       db,
 		terms:    tbl,
 		concepts: make(map[string]*Concept, len(seedConcepts)),
+		byNorm:   make(map[string]*Concept, 4*len(seedConcepts)),
+		byName:   make(map[string]*Concept, len(seedConcepts)),
 		coverage: opts.Coverage,
 		synonyms: !opts.DisableSynonyms,
 	}
+	// normPref tracks, during load only, whether a byNorm entry came from
+	// a preferred name; it mirrors the indexed-lookup tie-break.
+	normPref := make(map[string]bool, 4*len(seedConcepts))
 	id := int64(1)
 	for i := range seedConcepts {
 		c := &seedConcepts[i]
@@ -77,6 +85,7 @@ func New(opts Options) (*Ontology, error) {
 			continue
 		}
 		o.concepts[c.CUI] = c
+		o.byName[strings.ToLower(c.Preferred)] = c
 		forms := []string{c.Preferred}
 		if o.synonyms {
 			forms = append(forms, c.Synonyms...)
@@ -85,6 +94,12 @@ func New(opts Options) (*Ontology, error) {
 			norm := lexicon.Normalize(f)
 			if norm == "" {
 				continue
+			}
+			// In-memory mirror of the indexed-lookup preference: the first
+			// preferred-name hit for a form wins, else the first hit.
+			if _, ok := o.byNorm[norm]; !ok || (fi == 0 && !normPref[norm]) {
+				o.byNorm[norm] = c
+				normPref[norm] = fi == 0
 			}
 			row := store.Row{
 				store.Int(id),
@@ -125,13 +140,14 @@ func (o *Ontology) TermCount() int { return o.terms.Len() }
 
 // Lookup finds the concept for a candidate surface term. The term is
 // normalized (lemma of each word, words sorted alphabetically — §3.2)
-// before the index probe. It returns nil when the term is unknown.
+// and resolved with one in-memory map probe. It returns nil when the
+// term is unknown.
 func (o *Ontology) Lookup(term string) *Concept {
 	norm := lexicon.Normalize(term)
 	if norm == "" {
 		return nil
 	}
-	return o.lookupNorm(norm)
+	return o.byNorm[norm]
 }
 
 // LookupWords is Lookup for a pre-tokenized candidate.
@@ -140,10 +156,18 @@ func (o *Ontology) LookupWords(words []string) *Concept {
 	if norm == "" {
 		return nil
 	}
-	return o.lookupNorm(norm)
+	return o.byNorm[norm]
 }
 
-func (o *Ontology) lookupNorm(norm string) *Concept {
+// LookupIndexed resolves a term through the store table's B-tree
+// secondary index instead of the in-memory map — the persistence-layer
+// path, kept benchmarkable alongside LookupLinear as an ablation
+// baseline.
+func (o *Ontology) LookupIndexed(term string) *Concept {
+	norm := lexicon.Normalize(term)
+	if norm == "" {
+		return nil
+	}
 	rows, err := o.terms.Lookup("norm", store.Str(norm))
 	if err != nil || len(rows) == 0 {
 		return nil
@@ -183,15 +207,10 @@ func (o *Ontology) Concept(cui string) *Concept {
 }
 
 // ConceptByName returns the concept whose preferred name is name
-// (case-insensitive), or nil.
+// (case-insensitive), or nil. The lower-cased name index is built at
+// load, so this is one map probe instead of a scan over every concept.
 func (o *Ontology) ConceptByName(name string) *Concept {
-	name = strings.ToLower(name)
-	for _, c := range o.concepts {
-		if strings.ToLower(c.Preferred) == name {
-			return c
-		}
-	}
-	return nil
+	return o.byName[strings.ToLower(name)]
 }
 
 // All returns the full embedded vocabulary (independent of any loaded

@@ -1,0 +1,13 @@
+package pos
+
+import "sync/atomic"
+
+// tagPasses counts full tagging passes (initial tags + context rules)
+// process-wide, mirroring textproc.AnalysisCounts. Tests snapshot it
+// around an operation to pin the tag-at-most-once property of the shared
+// Document analysis.
+var tagPasses atomic.Uint64
+
+// TagPasses returns the cumulative number of tagging passes performed
+// process-wide.
+func TagPasses() uint64 { return tagPasses.Load() }

@@ -17,8 +17,27 @@ type TaggedToken struct {
 // of contextual repair rules in the style of Brill's transformation-based
 // tagger.
 func TagSentence(s textproc.Sentence) []TaggedToken {
-	out := make([]TaggedToken, len(s.Tokens))
-	for i, tok := range s.Tokens {
+	return tagTokens(s.Tokens)
+}
+
+// TagSection returns the POS tagging of sentence i of an analyzed
+// section, computing it at most once per Document: every consumer of the
+// shared analysis — numeric extraction, term extraction, feature
+// extraction — sees the same cached tagging. Safe for concurrent use.
+func TagSection(sec *textproc.DocSection, i int) []TaggedToken {
+	sents := sec.Sentences()
+	v := sec.Derived(i).Tags(func() any { return TagSentence(sents[i]) })
+	tagged, _ := v.([]TaggedToken)
+	return tagged
+}
+
+// tagTokens is the single tagging core behind TagSentence and TagWords:
+// initial tag per token, then the contextual repair pass. It increments
+// the process-wide tag pass counter.
+func tagTokens(toks []textproc.Token) []TaggedToken {
+	tagPasses.Add(1)
+	out := make([]TaggedToken, len(toks))
+	for i, tok := range toks {
 		out[i] = TaggedToken{Token: tok, Tag: initialTag(tok)}
 	}
 	applyContextRules(out)
@@ -36,11 +55,7 @@ func TagWords(words []string) []Tag {
 		}
 		toks[i] = textproc.Token{Text: w, Kind: kind}
 	}
-	tagged := make([]TaggedToken, len(toks))
-	for i, tok := range toks {
-		tagged[i] = TaggedToken{Token: tok, Tag: initialTag(tok)}
-	}
-	applyContextRules(tagged)
+	tagged := tagTokens(toks)
 	tags := make([]Tag, len(tagged))
 	for i, t := range tagged {
 		tags[i] = t.Tag
