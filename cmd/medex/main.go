@@ -1,17 +1,21 @@
 // Command medex runs the full extraction pipeline over a corpus
-// directory (as produced by gencorpus) and persists structured results to
-// an embedded database, printing a per-record summary.
+// directory (as produced by gencorpus), persists structured results to
+// an embedded database, and answers queries over the persisted table.
 //
 // Usage:
 //
-//	medex -corpus corpus/ [-db extracted.db] [-strategy link-grammar]
-//	      [-synonyms] [-train-smoking]
+//	medex [extract] -corpus corpus/ [-db extracted.db]
+//	      [-strategy link-grammar] [-synonyms] [-train-smoking]
+//	medex query -db extracted.db -attr pulse -min 100
+//	medex query -db extracted.db -attr smoking -value current
+//	medex query -db extracted.db -patient 12
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"slices"
 	"sort"
 	"strings"
@@ -29,27 +33,51 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("medex: ")
 
-	corpusDir := flag.String("corpus", "corpus", "corpus directory with gold.json")
-	dbPath := flag.String("db", "", "embedded database file for extracted information (empty = in-memory)")
-	strategyName := flag.String("strategy", "link-grammar", "number association strategy: link-grammar | pattern-only | proximity-only")
-	synonyms := flag.Bool("synonyms", true, "resolve synonyms when assigning predefined terms")
-	trainSmoking := flag.Bool("train-smoking", true, "train the smoking classifier on the corpus gold labels")
-	verbose := flag.Bool("v", false, "print every extracted attribute")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	flag.Parse()
-
-	strategy, err := parseStrategy(*strategyName)
+	args := os.Args[1:]
+	cmd := "extract"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "extract":
+		err = runExtract(args)
+	case "query":
+		err = runQuery(args, os.Stdout)
+	default:
+		err = fmt.Errorf("unknown command %q (want extract or query)", cmd)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	corpusDir := fs.String("corpus", "corpus", "corpus directory with gold.json")
+	dbPath := fs.String("db", "", "embedded database file for extracted information (empty = in-memory)")
+	strategyName := fs.String("strategy", "link-grammar", "number association strategy: link-grammar | pattern-only | proximity-only")
+	synonyms := fs.Bool("synonyms", true, "resolve synonyms when assigning predefined terms")
+	trainSmoking := fs.Bool("train-smoking", true, "train the smoking classifier on the corpus gold labels")
+	verbose := fs.Bool("v", false, "print every extracted attribute")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("extract: unexpected argument %q", fs.Arg(0))
+	}
+
+	strategy, err := parseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
 	recs, err := records.ReadCorpus(*corpusDir)
 	if err != nil {
-		log.Fatalf("reading corpus: %v (run gencorpus first)", err)
+		return fmt.Errorf("reading corpus: %v (run gencorpus first)", err)
 	}
 
 	sys, err := core.NewSystem(core.Config{Strategy: strategy, ResolveSynonyms: *synonyms})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *trainSmoking {
 		sys.TrainSmoking(recs)
@@ -59,11 +87,17 @@ func main() {
 	if *dbPath != "" {
 		db, err = store.Open(*dbPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer db.Close()
 	} else {
 		db = store.OpenMemory()
+	}
+	// Opening the warehouse before ingest creates the extracted table's
+	// secondary indexes up front, so every InsertBatch maintains them
+	// transactionally and `medex query` answers from the index.
+	if _, err := core.OpenWarehouse(db, nil); err != nil {
+		return err
 	}
 
 	// Stream extractions in corpus order with bounded memory, persisting
@@ -71,33 +105,39 @@ func main() {
 	// one per attribute row.
 	rows, processed := 0, 0
 	batch := make([]core.Extraction, 0, persistEvery)
-	flush := func() {
+	flush := func() error {
 		if len(batch) == 0 {
-			return
+			return nil
 		}
 		n, err := core.PersistAll(db, batch)
 		if err != nil {
-			log.Fatalf("persisting batch ending at record %d: %v", recs[processed-1].ID, err)
+			return fmt.Errorf("persisting batch ending at record %d: %v", recs[processed-1].ID, err)
 		}
 		rows += n
 		batch = batch[:0]
+		return nil
 	}
 	for _, ex := range sys.ProcessStream(slices.Values(recs), *workers) {
 		batch = append(batch, ex)
 		processed++
 		if len(batch) >= persistEvery {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 		if *verbose {
 			printExtraction(ex)
 		}
 	}
-	flush()
+	if err := flush(); err != nil {
+		return err
+	}
 	fmt.Printf("processed %d records, persisted %d attribute rows", processed, rows)
 	if *dbPath != "" {
 		fmt.Printf(" to %s", *dbPath)
 	}
 	fmt.Println()
+	return nil
 }
 
 func parseStrategy(name string) (core.Strategy, error) {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -20,6 +23,94 @@ func TestParseStrategy(t *testing.T) {
 	}
 	if _, err := parseStrategy("bogus"); err == nil {
 		t.Error("bogus strategy accepted")
+	}
+}
+
+// queryTestDB persists a small synthetic extraction set to a WAL-backed
+// database, with warehouse indexes created before ingest (the medex
+// extract order).
+func queryTestDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "extracted.db")
+	db, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OpenWarehouse(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	var exs []core.Extraction
+	for p := 1; p <= 9; p++ {
+		smoking := "never"
+		if p%2 == 0 {
+			smoking = "current"
+		}
+		exs = append(exs, core.Extraction{
+			Patient: p,
+			Numeric: map[string]core.NumericValue{"pulse": {Attr: "pulse", Value: float64(90 + p)}},
+			Smoking: smoking,
+		})
+	}
+	if _, err := core.PersistAll(db, exs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestQueryCommand pins the acceptance path: medex query answers an
+// equality and a numeric-range question from a persisted DB through the
+// secondary index (0 full scans in the printed plan).
+func TestQueryCommand(t *testing.T) {
+	path := queryTestDB(t)
+
+	var out strings.Builder
+	if err := runQuery([]string{"-db", path, "-attr", "smoking", "-value", "current"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "patients (4): 2 4 6 8") {
+		t.Errorf("equality answer wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "1/1 conditions indexed") || !strings.Contains(got, "0 full scans") {
+		t.Errorf("equality question did not use the index:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-attr", "pulse", "-min", "95"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	if !strings.Contains(got, "patients (4): 6 7 8 9") {
+		t.Errorf("range answer wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "1/1 conditions indexed") || !strings.Contains(got, "0 full scans") {
+		t.Errorf("range question did not use the index:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-patient", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "patient 4 (2 attribute rows)") {
+		t.Errorf("patient chart wrong:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-attr", "pulse", "-min", "95", "-max", "98", "-rows"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "2 rows;") {
+		t.Errorf("rows output wrong:\n%s", got)
+	}
+
+	if err := runQuery([]string{"-db", path}, &out); err == nil {
+		t.Error("query without -attr/-patient accepted")
+	}
+	if err := runQuery([]string{}, &out); err == nil {
+		t.Error("query without -db accepted")
 	}
 }
 

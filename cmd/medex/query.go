@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/store"
+)
+
+// runQuery answers a warehouse question from a persisted database:
+// equality on an attribute value (-value), a numeric range (-min/-max),
+// or a single patient's chart (-patient). Conditions resolve through the
+// extracted table's secondary indexes; the final line reports the access
+// path so an index regression is visible from the CLI.
+func runQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dbPath := fs.String("db", "", "embedded database file written by medex extract (required)")
+	attr := fs.String("attr", "", "attribute to filter on, e.g. pulse, smoking, medications")
+	value := fs.String("value", "", "equality on the attribute value (concept terms resolve synonyms)")
+	min := fs.Float64("min", 0, "lower bound on the numeric value (exclusive)")
+	max := fs.Float64("max", 0, "upper bound on the numeric value (exclusive)")
+	patient := fs.Int64("patient", 0, "print every attribute of one patient instead")
+	rows := fs.Bool("rows", false, "print matching attribute rows, not just patient ids")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("query: unexpected argument %q", fs.Arg(0))
+	}
+
+	if *dbPath == "" {
+		return fmt.Errorf("query: -db is required")
+	}
+	// store.Open creates missing files; a query against a typo'd path
+	// should error, not fabricate an empty database.
+	if _, err := os.Stat(*dbPath); err != nil {
+		return fmt.Errorf("query: %w (run medex extract -db first)", err)
+	}
+	db, err := store.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if db.RecoveredWithLoss() {
+		fmt.Fprintln(out, "warning: database recovered with a truncated WAL tail")
+	}
+	// The ontology only serves concept-term resolution; skip its load
+	// for patient-chart and pure numeric questions.
+	var ont *ontology.Ontology
+	if *value != "" {
+		if ont, err = ontology.New(ontology.Options{}); err != nil {
+			return err
+		}
+		defer ont.Close()
+	}
+	w, err := core.OpenWarehouse(db, ont)
+	if err != nil {
+		return err
+	}
+
+	if *patient != 0 {
+		chart, err := w.Patient(*patient)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "patient %d (%d attribute rows)\n", *patient, len(chart))
+		for _, r := range chart {
+			fmt.Fprintf(out, "  %-34s %s\n", r.Attribute, r.Value)
+		}
+		return nil
+	}
+
+	if *attr == "" {
+		return fmt.Errorf("query: need -attr (with -value and/or -min/-max) or -patient")
+	}
+	cond := core.Cond{Attr: *attr, Term: *value}
+	var set []string
+	fs.Visit(func(f *flag.Flag) { set = append(set, f.Name) })
+	for _, name := range set {
+		switch name {
+		case "min":
+			cond.Min, cond.MinExcl = min, true
+		case "max":
+			cond.Max, cond.MaxExcl = max, true
+		}
+	}
+
+	if *rows {
+		matched, stats, err := w.Rows(cond)
+		if err != nil {
+			return err
+		}
+		for _, r := range matched {
+			fmt.Fprintf(out, "patient %-6d %-26s %-20s %g\n", r.Patient, r.Attribute, r.Value, r.Numeric)
+		}
+		fmt.Fprintf(out, "%d rows; %s\n", len(matched), planLine(stats))
+		return nil
+	}
+
+	patients, stats, err := w.Ask(cond)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, len(patients))
+	for i, p := range patients {
+		ids[i] = fmt.Sprintf("%d", p)
+	}
+	fmt.Fprintf(out, "patients (%d): %s\n", len(patients), strings.Join(ids, " "))
+	fmt.Fprintln(out, planLine(stats))
+	return nil
+}
+
+// planLine summarizes how the question executed.
+func planLine(s core.QueryStats) string {
+	return fmt.Sprintf("plan: %d/%d conditions indexed, %d index probes, %d rows examined, %d full scans",
+		s.IndexedConds, s.Conds, s.IndexProbes, s.RowsExamined, s.FullScans)
+}

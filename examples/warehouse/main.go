@@ -1,7 +1,9 @@
 // Warehouse: run the pipeline over a corpus, persist every extracted
 // attribute to the embedded store (the paper's Access database), then
-// query the structured data — the "future data mining" the paper
-// motivates — and compact the write-ahead log.
+// answer paper-style questions through the query layer — secondary
+// indexes created before ingest and maintained transactionally by every
+// batch insert — and compact the write-ahead log, which carries the
+// indexes into the rewritten log.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/ontology"
 	"repro/internal/records"
 	"repro/internal/store"
 )
@@ -38,58 +41,63 @@ func main() {
 	}
 	defer db.Close()
 
-	// Process the corpus in parallel and persist with batched WAL writes:
-	// one log record per batch of rows instead of one per attribute.
+	// Open the warehouse before ingest: the extracted table and its
+	// attribute/patient indexes exist up front, so the batched inserts
+	// below maintain them transactionally and the questions afterwards
+	// never fall back to a full scan.
+	ont := ontology.MustNew(ontology.Options{})
+	defer ont.Close()
+	w, err := core.OpenWarehouse(db, ont)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	rows, err := core.PersistAll(db, sys.ProcessAll(recs, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("persisted %d attribute rows for %d patients (%d byte WAL)\n\n", rows, len(recs), db.LogSize())
 
-	tbl, err := db.Table("extracted")
+	// Question 1 (chart review, the paper's motivating use case):
+	// current smokers with elevated systolic blood pressure.
+	patients, stats, err := w.Ask(
+		core.HasTerm("smoking", records.SmokingCurrent),
+		core.Cond{Attr: records.AttrBloodPressure, Min: ptr(140.0)},
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tbl.CreateIndex("attribute"); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("current smokers with systolic >= 140: %d patients %v\n", len(patients), patients)
+	fmt.Printf("  (%d/%d conditions indexed, %d rows examined, %d full scans)\n\n",
+		stats.IndexedConds, stats.Conds, stats.RowsExamined, stats.FullScans)
 
-	// Query 1 (chart review, the paper's motivating use case): smokers
-	// with elevated blood pressure.
-	smokers := map[int64]string{}
-	hits, err := tbl.Lookup("attribute", store.Str("smoking"))
+	// Question 2: prevalence of each predefined past-medical condition,
+	// one indexed lookup for the whole attribute.
+	prevalence, err := w.Prevalence("predefined past medical history")
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range hits {
-		if row[3].S == records.SmokingCurrent {
-			smokers[row[1].I] = row[3].S
-		}
-	}
-	elevated := 0
-	bps, _ := tbl.Lookup("attribute", store.Str(records.AttrBloodPressure))
-	for _, row := range bps {
-		if _, ok := smokers[row[1].I]; ok && row[4].F >= 140 {
-			elevated++
-		}
-	}
-	fmt.Printf("current smokers: %d; of those, systolic ≥ 140: %d\n", len(smokers), elevated)
-
-	// Query 2: prevalence of each predefined past-medical condition.
-	prevalence := map[string]int{}
-	conds, _ := tbl.Lookup("attribute", store.Str("predefined past medical history"))
-	for _, row := range conds {
-		prevalence[row[3].S]++
-	}
-	fmt.Println("\npredefined condition prevalence:")
+	fmt.Println("predefined condition prevalence:")
 	for _, cond := range []string{"diabetes", "hypertension", "heart disease", "depression"} {
 		fmt.Printf("  %-15s %d/%d patients\n", cond, prevalence[cond], len(recs))
 	}
 
-	// Maintenance: compact the WAL.
+	// Question 3: one patient's reconstructed chart.
+	if len(patients) > 0 {
+		chart, err := w.Patient(patients[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npatient %d chart (%d attributes)\n", patients[0], len(chart))
+	}
+
+	// Maintenance: compact the WAL; indexes survive the rewrite.
 	before := db.LogSize()
 	if err := db.Compact(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncompacted WAL: %d → %d bytes\n", before, db.LogSize())
+	fmt.Printf("\ncompacted WAL: %d → %d bytes (indexes preserved: %v)\n",
+		before, db.LogSize(), w.Table().Stats().IndexNames)
 }
+
+func ptr(f float64) *float64 { return &f }

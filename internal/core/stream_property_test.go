@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/records"
+)
+
+// TestProcessStreamProperty is a randomized property test of the
+// streaming pipeline: for arbitrary worker counts, stream lengths and
+// early-break points, ProcessStream must yield every record in input
+// order with the right content, and release all of its goroutines —
+// including when the consumer abandons the iteration mid-stream.
+func TestProcessStreamProperty(t *testing.T) {
+	sys, err := NewSystem(Config{Strategy: LinkGrammar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	baseline := runtime.NumGoroutine()
+
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(50)
+		workers := rng.Intn(7) // 0 selects GOMAXPROCS, 1 the sequential path
+		breakAt := -1          // consume everything
+		if n > 0 && rng.Intn(2) == 0 {
+			breakAt = rng.Intn(n)
+		}
+
+		// Minimal records: a Patient section only, so the trial spends
+		// its time in the streaming machinery rather than the parser.
+		recs := make([]records.Record, n)
+		for i := range recs {
+			recs[i] = records.Record{
+				ID:   i,
+				Text: fmt.Sprintf("Patient:  %d\n", 1000+i),
+			}
+		}
+
+		seen := 0
+		for i, ex := range sys.ProcessStream(recordValues(recs), workers) {
+			if i != seen {
+				t.Fatalf("trial %d (n=%d w=%d): yielded index %d, want %d",
+					trial, n, workers, i, seen)
+			}
+			if ex.Patient != 1000+i {
+				t.Fatalf("trial %d (n=%d w=%d): record %d extracted patient %d",
+					trial, n, workers, i, ex.Patient)
+			}
+			seen++
+			if breakAt >= 0 && seen > breakAt {
+				break
+			}
+		}
+		want := n
+		if breakAt >= 0 && breakAt+1 < n {
+			want = breakAt + 1
+		}
+		if seen != want {
+			t.Fatalf("trial %d (n=%d w=%d breakAt=%d): yielded %d records, want %d",
+				trial, n, workers, breakAt, seen, want)
+		}
+	}
+
+	// Every trial's pool must have shut down: the goroutine count falls
+	// back to (about) the pre-test baseline once in-flight workers have
+	// observed the stop channel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				g, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// recordValues is slices.Values without pulling slices into every test
+// file (and mirrors how callers feed lazily generated streams).
+func recordValues(recs []records.Record) func(yield func(records.Record) bool) {
+	return func(yield func(records.Record) bool) {
+		for _, r := range recs {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}

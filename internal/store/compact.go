@@ -22,6 +22,20 @@ func (db *DB) Compact() error {
 	if db.log == nil {
 		return nil // in-memory databases have nothing to compact
 	}
+	// Freeze every table for the rewrite: a concurrent writer would
+	// otherwise append to the old log after its rows were (or weren't)
+	// scanned, and the record would vanish in the swap.
+	lockNames := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		lockNames = append(lockNames, n)
+	}
+	sortKeys(lockNames)
+	for _, n := range lockNames {
+		db.tables[n].mu.Lock()
+		defer db.tables[n].mu.Unlock()
+	}
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	tmpPath := db.path + ".compact"
 	tmp, err := openWAL(tmpPath)
 	if err != nil {
@@ -32,24 +46,26 @@ func (db *DB) Compact() error {
 		os.Remove(tmpPath)
 	}
 
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
-	}
-	sortKeys(names)
-	for _, name := range names {
+	for _, name := range lockNames {
 		t := db.tables[name]
 		s := t.schema
-		payload := []byte{opCreateTable}
-		payload = appendString(payload, s.Name)
-		payload = append(payload, byte(len(s.Columns)), byte(s.Primary))
-		for _, c := range s.Columns {
-			payload = appendString(payload, c.Name)
-			payload = append(payload, byte(c.Type))
-		}
-		if err := tmp.append(payload); err != nil {
+		if err := tmp.append(encodeCreateTablePayload(s)); err != nil {
 			cleanup()
 			return err
+		}
+		// Indexes are part of the live state: carry one create-index
+		// record per secondary index so they exist after replay of the
+		// compacted log.
+		idxCols := make([]string, 0, len(t.secondary))
+		for col := range t.secondary {
+			idxCols = append(idxCols, col)
+		}
+		sortKeys(idxCols)
+		for _, col := range idxCols {
+			if err := tmp.append(encodeCreateIndexPayload(s.Name, col)); err != nil {
+				cleanup()
+				return err
+			}
 		}
 		var insertErr error
 		batch := make([]Row, 0, compactBatchRows)
@@ -111,8 +127,8 @@ func (db *DB) Compact() error {
 // LogSize returns the current size of the write-ahead log in bytes
 // (0 for in-memory databases).
 func (db *DB) LogSize() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	if db.log == nil {
 		return 0
 	}

@@ -9,8 +9,16 @@ import (
 // DB is an embedded database: a set of tables durably backed by one
 // write-ahead log file. Open replays the log; a corrupted tail (crash) is
 // truncated.
+//
+// Locking: db.mu guards the tables map and the log pointer swap
+// (Compact); logMu serializes every append/flush on the shared log;
+// each Table carries its own RWMutex for row and index state. Lock
+// order is db.mu → Table.mu → logMu, and no path acquires them in the
+// opposite direction, so concurrent readers overlap a live ingest
+// without deadlock.
 type DB struct {
 	mu      sync.RWMutex
+	logMu   sync.Mutex // serializes WAL appends across tables
 	log     *wal
 	tables  map[string]*Table
 	path    string
@@ -47,6 +55,8 @@ func (db *DB) RecoveredWithLoss() bool { return db.dropped > 0 }
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	if db.log == nil {
 		return nil
 	}
@@ -57,8 +67,8 @@ func (db *DB) Close() error {
 
 // Sync flushes buffered log records to stable storage.
 func (db *DB) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	if db.log == nil {
 		return nil
 	}
@@ -76,23 +86,38 @@ func (db *DB) CreateTable(s Schema) (*Table, error) {
 	if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
 		return nil, fmt.Errorf("store: invalid schema for table %q", s.Name)
 	}
-	if db.log != nil {
-		payload := []byte{opCreateTable}
-		payload = appendString(payload, s.Name)
-		payload = append(payload, byte(len(s.Columns)), byte(s.Primary))
-		for _, c := range s.Columns {
-			payload = appendString(payload, c.Name)
-			payload = append(payload, byte(c.Type))
-		}
-		if err := db.log.append(payload); err != nil {
-			return nil, err
-		}
-		if err := db.log.flush(); err != nil {
-			return nil, err
-		}
+	if err := db.appendLog(encodeCreateTablePayload(s)); err != nil {
+		return nil, err
 	}
 	t := db.newTable(s)
 	return t, nil
+}
+
+// encodeCreateTablePayload frames an opCreateTable payload; CreateTable
+// and Compact both go through it.
+func encodeCreateTablePayload(s Schema) []byte {
+	payload := []byte{opCreateTable}
+	payload = appendString(payload, s.Name)
+	payload = append(payload, byte(len(s.Columns)), byte(s.Primary))
+	for _, c := range s.Columns {
+		payload = appendString(payload, c.Name)
+		payload = append(payload, byte(c.Type))
+	}
+	return payload
+}
+
+// appendLog appends and flushes one record under logMu; a nil log
+// (in-memory DB) is a no-op.
+func (db *DB) appendLog(payload []byte) error {
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	if err := db.log.append(payload); err != nil {
+		return err
+	}
+	return db.log.flush()
 }
 
 func (db *DB) newTable(s Schema) *Table {
@@ -131,44 +156,45 @@ func (db *DB) TableNames() []string {
 
 // logInsert appends an insert record for the table.
 func (db *DB) logInsert(table string, row Row) error {
-	if db.log == nil {
-		return nil
-	}
 	payload := []byte{opInsert}
 	payload = appendString(payload, table)
 	payload = encodeRow(payload, row)
-	if err := db.log.append(payload); err != nil {
-		return err
-	}
-	return db.log.flush()
+	return db.appendLog(payload)
 }
 
 // logInsertBatch appends one WAL record covering the whole row batch.
 func (db *DB) logInsertBatch(table string, rows []Row) error {
-	if db.log == nil {
-		return nil
-	}
-	if err := db.log.append(encodeBatchPayload(table, rows)); err != nil {
-		return err
-	}
-	return db.log.flush()
+	return db.appendLog(encodeBatchPayload(table, rows))
 }
 
 // logDelete appends a delete record for the table.
 func (db *DB) logDelete(table string, pk Value) error {
-	if db.log == nil {
-		return nil
-	}
 	payload := []byte{opDelete}
 	payload = appendString(payload, table)
 	payload = encodeRow(payload, Row{pk})
-	if err := db.log.append(payload); err != nil {
-		return err
-	}
-	return db.log.flush()
+	return db.appendLog(payload)
 }
 
-// applyLogRecord replays one WAL payload into the in-memory state.
+// logCreateIndex appends a create-index record for the table, making the
+// secondary index durable across reopen.
+func (db *DB) logCreateIndex(table, col string) error {
+	return db.appendLog(encodeCreateIndexPayload(table, col))
+}
+
+// encodeCreateIndexPayload frames an opCreateIndex payload; CreateIndex
+// and Compact both go through it.
+func encodeCreateIndexPayload(table, col string) []byte {
+	payload := []byte{opCreateIndex}
+	payload = appendString(payload, table)
+	return appendString(payload, col)
+}
+
+// applyLogRecord replays one WAL payload into the in-memory state. Any
+// error it returns is treated by Open as a corrupt tail: replay stops and
+// the log is truncated at the last record that applied cleanly, so a
+// mangled-but-CRC-valid record can never panic or half-apply. Batch
+// records are decoded and validated in full before any row is applied,
+// keeping replay all-or-nothing per record.
 func (db *DB) applyLogRecord(payload []byte) error {
 	if len(payload) == 0 {
 		return ErrCorrupt
@@ -199,6 +225,14 @@ func (db *DB) applyLogRecord(payload []byte) error {
 			s.Columns = append(s.Columns, Column{Name: cname, Type: ColType(rest[0])})
 			rest = rest[1:]
 		}
+		if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
+			return ErrCorrupt
+		}
+		for _, c := range s.Columns {
+			if c.Type < TInt || c.Type > TBool {
+				return ErrCorrupt
+			}
+		}
 		if _, ok := db.tables[name]; !ok {
 			db.newTable(s)
 		}
@@ -211,27 +245,42 @@ func (db *DB) applyLogRecord(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		t.apply(encodeKey(row[t.schema.Primary]), row)
+		if err := t.schema.validate(row); err != nil {
+			return err
+		}
+		t.replayInsert(row)
 	case opInsertBatch:
 		t, ok := db.tables[name]
 		if !ok {
 			return fmt.Errorf("store: replay batch insert into unknown table %q", name)
 		}
 		count, k := binary.Uvarint(rest)
-		if k <= 0 {
+		// Every encoded value is at least two bytes (type byte +
+		// payload), so a valid record cannot claim more rows than
+		// len(rest)/(2*ncols); a larger count is corruption, and the
+		// bound keeps a crafted count from pre-allocating gigabytes.
+		maxRows := uint64(len(rest)) / uint64(2*len(t.schema.Columns))
+		if k <= 0 || count > maxRows {
 			return ErrCorrupt
 		}
 		rest = rest[k:]
+		rows := make([]Row, 0, count)
 		for i := uint64(0); i < count; i++ {
 			var row Row
 			row, rest, err = decodeValues(rest, len(t.schema.Columns))
 			if err != nil {
 				return err
 			}
-			t.apply(encodeKey(row[t.schema.Primary]), row)
+			if err := t.schema.validate(row); err != nil {
+				return err
+			}
+			rows = append(rows, row)
 		}
 		if len(rest) != 0 {
 			return ErrCorrupt
+		}
+		for _, row := range rows {
+			t.replayInsert(row)
 		}
 	case opDelete:
 		t, ok := db.tables[name]
@@ -246,6 +295,19 @@ func (db *DB) applyLogRecord(payload []byte) error {
 		if v, ok := t.primary.Get(key); ok {
 			t.applyDelete(key, v.(Row))
 		}
+	case opCreateIndex:
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay create-index on unknown table %q", name)
+		}
+		col, rest, err := readString(rest)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 || t.schema.colIndex(col) < 0 {
+			return ErrCorrupt
+		}
+		t.createIndexLocked(col)
 	default:
 		return ErrCorrupt
 	}

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+)
+
+// ErrBadQuery reports a malformed predicate (unknown operator).
+var ErrBadQuery = errors.New("store: malformed query predicate")
+
+// The query layer answers predicate queries over one table, choosing a
+// secondary-index access path when one applies and falling back to a
+// primary scan otherwise. It is the read half of the warehouse the paper
+// motivates: extraction fills the table, Query serves the questions.
+
+// Op is a predicate comparison operator.
+type Op uint8
+
+// Comparison operators. Ranges are expressed as conjunctions, e.g.
+// Gt + Le on the same column.
+const (
+	OpEq Op = iota + 1
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Pred is one column predicate.
+type Pred struct {
+	Col string
+	Op  Op
+	V   Value
+}
+
+// Eq, Lt, Le, Gt and Ge construct predicates.
+func Eq(col string, v Value) Pred { return Pred{Col: col, Op: OpEq, V: v} }
+func Lt(col string, v Value) Pred { return Pred{Col: col, Op: OpLt, V: v} }
+func Le(col string, v Value) Pred { return Pred{Col: col, Op: OpLe, V: v} }
+func Gt(col string, v Value) Pred { return Pred{Col: col, Op: OpGt, V: v} }
+func Ge(col string, v Value) Pred { return Pred{Col: col, Op: OpGe, V: v} }
+
+// Query is a conjunction of predicates over one table, with an optional
+// result limit.
+type Query struct {
+	Preds []Pred
+	Limit int // 0 = unlimited
+}
+
+// QueryStats reports how a query executed, so callers (and tests) can
+// verify the planner's choice: UsedIndex with FullScan == false means no
+// row outside the chosen index entries was touched.
+type QueryStats struct {
+	UsedIndex    bool   // candidates came from a secondary index
+	IndexCol     string // the index column, when UsedIndex
+	IndexProbes  int    // index entries (distinct values) visited
+	RowsExamined int    // candidate rows fetched and tested
+	FullScan     bool   // fell back to scanning the primary index
+}
+
+// Plan renders the access path for logs ("index(attribute)" or "scan").
+func (s QueryStats) Plan() string {
+	if s.UsedIndex {
+		return "index(" + s.IndexCol + ")"
+	}
+	return "scan"
+}
+
+// Query returns the rows satisfying every predicate, in deterministic
+// order (ascending indexed value then primary key on the index path,
+// ascending primary key on the scan path), along with execution stats.
+//
+// Planning: an equality predicate on an indexed column is preferred (one
+// B-tree probe); otherwise the range predicates on an indexed column are
+// combined into one bounded index walk; otherwise the primary index is
+// scanned. All remaining predicates filter the candidate rows.
+//
+// Queries run entirely under the table's read lock, so any number can
+// overlap each other and a live ingest.
+func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
+	cis := make([]int, len(q.Preds))
+	for i, p := range q.Preds {
+		ci := t.schema.colIndex(p.Col)
+		if ci < 0 {
+			return nil, QueryStats{}, &ColumnError{Table: t.schema.Name, Col: p.Col}
+		}
+		if p.V.Type != t.schema.Columns[ci].Type {
+			return nil, QueryStats{}, ErrTypeMism
+		}
+		if p.Op < OpEq || p.Op > OpGe {
+			return nil, QueryStats{}, ErrBadQuery
+		}
+		cis[i] = ci
+	}
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	var stats QueryStats
+	var out []Row
+	limit := q.Limit
+	done := func() bool { return limit > 0 && len(out) >= limit }
+	// filter tests every predicate except the ones the access path
+	// already guarantees (tracked by skip).
+	filter := func(row Row, skip int) bool {
+		for i, p := range q.Preds {
+			if i == skip {
+				continue
+			}
+			if !predHolds(p.Op, cmpValues(row[cis[i]], p.V)) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// 1. Equality on an indexed column: one probe.
+	for i, p := range q.Preds {
+		if p.Op != OpEq {
+			continue
+		}
+		idx, ok := t.secondary[p.Col]
+		if !ok {
+			continue
+		}
+		stats.UsedIndex = true
+		stats.IndexCol = p.Col
+		stats.IndexProbes = 1
+		if pv, ok := idx.Get(encodeKey(p.V)); ok {
+			for _, e := range pv.(*postingList).entries {
+				stats.RowsExamined++
+				if filter(e.row, i) {
+					out = append(out, e.row)
+					if done() {
+						break
+					}
+				}
+			}
+		}
+		return out, stats, nil
+	}
+
+	// 2. Range predicates on one indexed column: a bounded index walk.
+	// All range predicates on the chosen column tighten the bounds, so
+	// none of them needs re-checking per row.
+	if col, lo, hi, ok := t.rangeBounds(q.Preds); ok {
+		idx := t.secondary[col]
+		stats.UsedIndex = true
+		stats.IndexCol = col
+		idx.AscendRange(lo, hi, func(_ []byte, v interface{}) bool {
+			stats.IndexProbes++
+			for _, e := range v.(*postingList).entries {
+				stats.RowsExamined++
+				if filterExceptCol(q.Preds, cis, col, e.row) {
+					out = append(out, e.row)
+					if done() {
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return out, stats, nil
+	}
+
+	// 3. Fallback: primary scan.
+	stats.FullScan = true
+	t.primary.Ascend(func(_ []byte, val interface{}) bool {
+		row := val.(Row)
+		stats.RowsExamined++
+		if filter(row, -1) {
+			out = append(out, row)
+			if done() {
+				return false
+			}
+		}
+		return true
+	})
+	return out, stats, nil
+}
+
+// rangeBounds picks the first indexed column that carries a range
+// predicate and folds every range predicate on it into [lo, hi) key
+// bounds. Exclusive bounds use the key-successor trick: appending a zero
+// byte to an encoded key yields the smallest strictly greater key.
+func (t *Table) rangeBounds(preds []Pred) (col string, lo, hi []byte, ok bool) {
+	for _, p := range preds {
+		if p.Op == OpEq {
+			continue
+		}
+		if _, indexed := t.secondary[p.Col]; !indexed || (ok && p.Col != col) {
+			continue
+		}
+		col, ok = p.Col, true
+		var plo, phi []byte
+		switch p.Op {
+		case OpGe:
+			plo = encodeKey(p.V)
+		case OpGt:
+			plo = append(encodeKey(p.V), 0)
+		case OpLt:
+			phi = encodeKey(p.V)
+		case OpLe:
+			phi = append(encodeKey(p.V), 0)
+		}
+		if plo != nil && (lo == nil || bytes.Compare(plo, lo) > 0) {
+			lo = plo
+		}
+		if phi != nil && (hi == nil || bytes.Compare(phi, hi) < 0) {
+			hi = phi
+		}
+	}
+	return col, lo, hi, ok
+}
+
+// filterExceptCol tests every predicate not on the given column (those
+// are guaranteed by the index walk's bounds).
+func filterExceptCol(preds []Pred, cis []int, col string, row Row) bool {
+	for i, p := range preds {
+		if p.Col == col && p.Op != OpEq {
+			continue
+		}
+		if !predHolds(p.Op, cmpValues(row[cis[i]], p.V)) {
+			return false
+		}
+	}
+	return true
+}
+
+// cmpValues orders two same-typed values: -1, 0 or 1.
+func cmpValues(a, b Value) int {
+	switch a.Type {
+	case TInt:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+	case TFloat:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+	case TString:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+	case TBool:
+		switch {
+		case !a.B && b.B:
+			return -1
+		case a.B && !b.B:
+			return 1
+		}
+	}
+	return 0
+}
+
+// predHolds translates a comparison result into the operator's outcome.
+func predHolds(op Op, cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// ColumnError reports a predicate on a column the table does not have.
+type ColumnError struct {
+	Table, Col string
+}
+
+func (e *ColumnError) Error() string {
+	return "store: table " + e.Table + " has no column " + e.Col
+}

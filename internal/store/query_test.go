@@ -1,0 +1,391 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// attrSchema mirrors the warehouse's extracted table: one row per
+// (patient, attribute, value).
+func attrSchema() Schema {
+	return Schema{
+		Name: "extracted",
+		Columns: []Column{
+			{Name: "id", Type: TInt},
+			{Name: "patient", Type: TInt},
+			{Name: "attribute", Type: TString},
+			{Name: "value", Type: TString},
+			{Name: "numeric", Type: TFloat},
+		},
+		Primary: 0,
+	}
+}
+
+// fillAttrs inserts n patients with a pulse, a smoking status and a
+// weight row each.
+func fillAttrs(t *testing.T, tbl *Table, n int) {
+	t.Helper()
+	var rows []Row
+	id := int64(1)
+	for p := 1; p <= n; p++ {
+		smoking := "never"
+		if p%3 == 0 {
+			smoking = "current"
+		}
+		rows = append(rows,
+			Row{Int(id), Int(int64(p)), Str("pulse"), Str("x"), Float(float64(60 + p%60))},
+			Row{Int(id + 1), Int(int64(p)), Str("smoking"), Str(smoking), Float(0)},
+			Row{Int(id + 2), Int(int64(p)), Str("weight"), Str("x"), Float(float64(50 + p%50))},
+		)
+		id += 3
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryEqualityUsesIndexNoFullScan(t *testing.T) {
+	db := OpenMemory()
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 90)
+	if err := tbl.CreateIndex("attribute"); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, stats, err := tbl.Query(Query{Preds: []Pred{
+		Eq("attribute", Str("smoking")),
+		Eq("value", Str("current")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("got %d rows, want 30", len(rows))
+	}
+	// The probe counter is the no-full-scan proof: one index probe, and
+	// only the posting list's rows were examined — not the whole table.
+	if !stats.UsedIndex || stats.FullScan {
+		t.Fatalf("expected index path, got %+v", stats)
+	}
+	if stats.IndexCol != "attribute" || stats.IndexProbes != 1 {
+		t.Errorf("expected 1 probe on attribute, got %+v", stats)
+	}
+	if stats.RowsExamined != 90 { // 90 smoking rows, not 270 total rows
+		t.Errorf("RowsExamined = %d, want 90 (table has %d)", stats.RowsExamined, tbl.Len())
+	}
+}
+
+func TestQueryRangeUsesIndex(t *testing.T) {
+	db := OpenMemory()
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 60)
+	if err := tbl.CreateIndex("numeric"); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, stats, err := tbl.Query(Query{Preds: []Pred{
+		Gt("numeric", Float(100)),
+		Le("numeric", Float(110)),
+		Eq("attribute", Str("pulse")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.UsedIndex || stats.FullScan || stats.IndexCol != "numeric" {
+		t.Fatalf("expected numeric index walk, got %+v", stats)
+	}
+	if len(rows) == 0 {
+		t.Fatal("expected matches")
+	}
+	for _, r := range rows {
+		if r[2].S != "pulse" || r[4].F <= 100 || r[4].F > 110 {
+			t.Errorf("row violates predicates: %v", r)
+		}
+	}
+	// Verify against the scan fallback.
+	want := tbl.Select(func(r Row) bool {
+		return r[2].S == "pulse" && r[4].F > 100 && r[4].F <= 110
+	})
+	if len(rows) != len(want) {
+		t.Errorf("index path returned %d rows, scan %d", len(rows), len(want))
+	}
+}
+
+func TestQueryScanFallback(t *testing.T) {
+	db := OpenMemory()
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 30)
+
+	rows, stats, err := tbl.Query(Query{Preds: []Pred{Eq("attribute", Str("pulse"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UsedIndex || !stats.FullScan {
+		t.Fatalf("expected scan fallback, got %+v", stats)
+	}
+	if len(rows) != 30 || stats.RowsExamined != tbl.Len() {
+		t.Errorf("rows=%d examined=%d want 30/%d", len(rows), stats.RowsExamined, tbl.Len())
+	}
+	if stats.Plan() != "scan" {
+		t.Errorf("Plan() = %q", stats.Plan())
+	}
+}
+
+func TestQueryLimitAndErrors(t *testing.T) {
+	db := OpenMemory()
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 30)
+	if err := tbl.CreateIndex("attribute"); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, _, err := tbl.Query(Query{Preds: []Pred{Eq("attribute", Str("pulse"))}, Limit: 5})
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("limit: got %d rows, err %v", len(rows), err)
+	}
+	if _, _, err := tbl.Query(Query{Preds: []Pred{Eq("nope", Str("x"))}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, _, err := tbl.Query(Query{Preds: []Pred{Eq("attribute", Int(1))}}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, _, err := tbl.Query(Query{Preds: []Pred{{Col: "attribute", Op: 99, V: Str("x")}}}); err == nil {
+		t.Error("bad operator accepted")
+	}
+}
+
+func TestQueryEmptyPredsReturnsAll(t *testing.T) {
+	db := OpenMemory()
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 10)
+	rows, stats, err := tbl.Query(Query{})
+	if err != nil || len(rows) != 30 || !stats.FullScan {
+		t.Fatalf("got %d rows, stats %+v, err %v", len(rows), stats, err)
+	}
+}
+
+// TestIndexSurvivesReopen pins the durability half of the tentpole: an
+// index created before a reopen exists after replay, stays maintained,
+// and equals the table contents.
+func TestIndexSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("attribute"); err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 20)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err = db.Table("extracted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Stats()
+	if st.Indexes != 1 || st.IndexNames[0] != "attribute" {
+		t.Fatalf("index lost across reopen: %+v", st)
+	}
+	_, stats, err := tbl.Query(Query{Preds: []Pred{Eq("attribute", Str("pulse"))}})
+	if err != nil || !stats.UsedIndex {
+		t.Fatalf("reopened query did not use index: %+v err %v", stats, err)
+	}
+	checkIndexConsistent(t, tbl)
+
+	// The replayed index must stay maintained by new writes.
+	if err := tbl.Insert(Row{Int(10_000), Int(999), Str("pulse"), Str("x"), Float(70)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := tbl.Query(Query{Preds: []Pred{Eq("attribute", Str("pulse"))}})
+	if err != nil || len(rows) != 21 {
+		t.Fatalf("post-reopen insert not indexed: %d rows, err %v", len(rows), err)
+	}
+}
+
+// TestIndexSurvivesCompact: Compact rewrites the log; indexes must be in
+// the rewritten state.
+func TestIndexSurvivesCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillAttrs(t, tbl, 20)
+	if err := tbl.CreateIndex("attribute"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.RecoveredWithLoss() {
+		t.Fatal("compacted log reported loss")
+	}
+	tbl, err = db.Table("extracted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tbl.Stats(); st.Indexes != 1 {
+		t.Fatalf("index lost across compact+reopen: %+v", st)
+	}
+	if tbl.Len() != 59 {
+		t.Fatalf("row count after compact+reopen = %d, want 59", tbl.Len())
+	}
+	checkIndexConsistent(t, tbl)
+}
+
+// checkIndexConsistent asserts every secondary index holds exactly the
+// table's rows: the crash invariant "index == table contents".
+func checkIndexConsistent(t *testing.T, tbl *Table) {
+	t.Helper()
+	tbl.mu.RLock()
+	defer tbl.mu.RUnlock()
+	for col, idx := range tbl.secondary {
+		ci := tbl.schema.colIndex(col)
+		// Every table row appears in the index under its column value.
+		tbl.primary.Ascend(func(pk []byte, val interface{}) bool {
+			row := val.(Row)
+			v, ok := idx.Get(encodeKey(row[ci]))
+			if !ok {
+				t.Errorf("index %s missing value %v", col, row[ci])
+				return true
+			}
+			if _, found := v.(*postingList).find(string(pk)); !found {
+				t.Errorf("index %s missing row pk %v", col, row[0])
+			}
+			return true
+		})
+		// And the index holds no extra rows.
+		indexed := 0
+		idx.Ascend(func(_ []byte, v interface{}) bool {
+			pl := v.(*postingList)
+			indexed += len(pl.entries)
+			for _, e := range pl.entries {
+				got, ok := tbl.primary.Get([]byte(e.pk))
+				if !ok {
+					t.Errorf("index %s holds pk absent from table: row %v", col, e.row)
+				} else if !rowsEqual(got.(Row), e.row) {
+					t.Errorf("index %s holds stale row for pk %v", col, e.row[0])
+				}
+			}
+			return true
+		})
+		if indexed != tbl.primary.Len() {
+			t.Errorf("index %s holds %d rows, table has %d", col, indexed, tbl.primary.Len())
+		}
+	}
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// benchTable builds a large attribute table, optionally indexed.
+func benchTable(b *testing.B, n int, indexed bool) *Table {
+	b.Helper()
+	db := OpenMemory()
+	tbl, err := db.CreateTable(attrSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []Row
+	id := int64(1)
+	for p := 1; p <= n; p++ {
+		for _, attr := range []string{"pulse", "weight", "age", "blood pressure", "smoking"} {
+			rows = append(rows, Row{
+				Int(id), Int(int64(p)), Str(attr),
+				Str(fmt.Sprintf("v%d", p)), Float(float64(p % 200)),
+			})
+			id++
+		}
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		b.Fatal(err)
+	}
+	if indexed {
+		if err := tbl.CreateIndex("attribute"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// BenchmarkQueryIndexed vs BenchmarkQueryScan is the index ablation: the
+// same equality+range question answered through the attribute index and
+// by full scan.
+func BenchmarkQueryIndexed(b *testing.B) {
+	tbl := benchTable(b, 2000, true)
+	q := Query{Preds: []Pred{Eq("attribute", Str("pulse")), Ge("numeric", Float(150))}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, stats, err := tbl.Query(q)
+		if err != nil || !stats.UsedIndex || len(rows) == 0 {
+			b.Fatalf("rows=%d stats=%+v err=%v", len(rows), stats, err)
+		}
+	}
+}
+
+func BenchmarkQueryScan(b *testing.B) {
+	tbl := benchTable(b, 2000, false)
+	q := Query{Preds: []Pred{Eq("attribute", Str("pulse")), Ge("numeric", Float(150))}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, stats, err := tbl.Query(q)
+		if err != nil || !stats.FullScan || len(rows) == 0 {
+			b.Fatalf("rows=%d stats=%+v err=%v", len(rows), stats, err)
+		}
+	}
+}

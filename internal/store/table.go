@@ -1,9 +1,10 @@
 package store
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // Column describes one table column.
@@ -43,9 +44,14 @@ func (s *Schema) validate(row Row) error {
 }
 
 // Table is an in-memory table backed by the DB's write-ahead log.
+//
+// Tables are safe for concurrent use: mutations hold the write lock,
+// reads (Get, Lookup, Scan, Query, …) the read lock, so any number of
+// readers overlap each other and serialize only against writers.
 type Table struct {
 	schema    Schema
 	db        *DB
+	mu        sync.RWMutex
 	primary   *btree            // pk key bytes → Row
 	secondary map[string]*btree // column name → key bytes → map[string]Row (pk-encoded → row)
 }
@@ -62,13 +68,23 @@ var (
 func (t *Table) Schema() Schema { return t.schema }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return t.primary.Len() }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.primary.Len()
+}
 
 // Insert adds a row. The primary key must be unique.
 func (t *Table) Insert(row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(row)
+}
+
+func (t *Table) insertLocked(row Row) error {
 	key := encodeKey(row[t.schema.Primary])
 	if _, exists := t.primary.Get(key); exists {
 		return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
@@ -90,6 +106,8 @@ func (t *Table) InsertBatch(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	keys := make([][]byte, len(rows))
 	inBatch := make(map[string]bool, len(rows))
 	for i, row := range rows {
@@ -112,6 +130,17 @@ func (t *Table) InsertBatch(rows []Row) error {
 	return nil
 }
 
+// replayInsert applies one row during WAL replay. A duplicate primary
+// key replaces the existing row (and its index postings) so that replay
+// of any log prefix leaves indexes exactly consistent with the table.
+func (t *Table) replayInsert(row Row) {
+	key := encodeKey(row[t.schema.Primary])
+	if old, ok := t.primary.Get(key); ok {
+		t.applyDelete(key, old.(Row))
+	}
+	t.apply(key, row)
+}
+
 // apply performs the in-memory insert (used by Insert and WAL replay).
 func (t *Table) apply(key []byte, row Row) {
 	t.primary.Put(key, row)
@@ -124,6 +153,8 @@ func (t *Table) apply(key []byte, row Row) {
 
 // Get returns the row with the given primary key.
 func (t *Table) Get(pk Value) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	v, ok := t.primary.Get(encodeKey(pk))
 	if !ok {
 		return nil, ErrNotFound
@@ -133,6 +164,8 @@ func (t *Table) Get(pk Value) (Row, error) {
 
 // Delete removes the row with the given primary key.
 func (t *Table) Delete(pk Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	key := encodeKey(pk)
 	v, ok := t.primary.Get(key)
 	if !ok {
@@ -155,12 +188,31 @@ func (t *Table) applyDelete(key []byte, row Row) {
 }
 
 // CreateIndex builds a non-unique secondary index on the named column.
+// The index is durable: a WAL record re-creates it on replay, and Compact
+// carries it into the rewritten log, so once built it exists after every
+// reopen and is maintained transactionally by Insert/InsertBatch/Update/
+// Delete alongside the rows. Creating an existing index is a no-op.
 func (t *Table) CreateIndex(col string) error {
 	if t.schema.colIndex(col) < 0 {
 		return fmt.Errorf("store: table %s has no column %s", t.schema.Name, col)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.secondary[col]; ok {
 		return nil
+	}
+	if err := t.db.logCreateIndex(t.schema.Name, col); err != nil {
+		return err
+	}
+	t.createIndexLocked(col)
+	return nil
+}
+
+// createIndexLocked builds the index from the current rows. Callers hold
+// the write lock (or are single-threaded WAL replay).
+func (t *Table) createIndexLocked(col string) {
+	if _, ok := t.secondary[col]; ok {
+		return
 	}
 	idx := newBtree()
 	ci := t.schema.colIndex(col)
@@ -170,37 +222,69 @@ func (t *Table) CreateIndex(col string) error {
 		return true
 	})
 	t.secondary[col] = idx
-	return nil
 }
 
-// postingList is the value type of secondary index entries: the set of
-// rows sharing one indexed value, keyed by primary-key bytes.
+// postingList is the value type of secondary index entries: the rows
+// sharing one indexed value, kept sorted by primary-key bytes so reads
+// stream them in deterministic order without sorting.
+type postingEntry struct {
+	pk  string // encoded primary key
+	row Row
+}
+
 type postingList struct {
-	rows map[string]Row
+	entries []postingEntry // ascending pk
+}
+
+// find returns the insertion position of pk and whether it is present.
+func (pl *postingList) find(pk string) (int, bool) {
+	i := sort.Search(len(pl.entries), func(i int) bool { return pl.entries[i].pk >= pk })
+	return i, i < len(pl.entries) && pl.entries[i].pk == pk
+}
+
+// appendRows appends the posting rows (already pk-sorted) to out.
+func (pl *postingList) appendRows(out []Row) []Row {
+	for _, e := range pl.entries {
+		out = append(out, e.row)
+	}
+	return out
 }
 
 func (t *Table) indexAdd(idx *btree, sk, pk []byte, row Row) {
 	v, ok := idx.Get(sk)
 	if !ok {
-		v = &postingList{rows: make(map[string]Row, 1)}
-		idx.Put(sk, v)
+		idx.Put(sk, &postingList{entries: []postingEntry{{pk: string(pk), row: row}}})
+		return
 	}
-	v.(*postingList).rows[string(pk)] = row
+	pl := v.(*postingList)
+	i, found := pl.find(string(pk))
+	if found {
+		pl.entries[i].row = row
+		return
+	}
+	pl.entries = append(pl.entries, postingEntry{})
+	copy(pl.entries[i+1:], pl.entries[i:])
+	pl.entries[i] = postingEntry{pk: string(pk), row: row}
 }
 
 func (t *Table) indexRemove(idx *btree, sk, pk []byte) {
 	if v, ok := idx.Get(sk); ok {
 		pl := v.(*postingList)
-		delete(pl.rows, string(pk))
-		if len(pl.rows) == 0 {
+		if i, found := pl.find(string(pk)); found {
+			pl.entries = append(pl.entries[:i], pl.entries[i+1:]...)
+		}
+		if len(pl.entries) == 0 {
 			idx.Delete(sk)
 		}
 	}
 }
 
-// Lookup returns all rows whose indexed column equals v, using the
-// secondary index on col. The column must have an index.
+// Lookup returns all rows whose indexed column equals v in ascending
+// primary-key order, using the secondary index on col. The column must
+// have an index.
 func (t *Table) Lookup(col string, v Value) ([]Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx, ok := t.secondary[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoIndex, col)
@@ -210,29 +294,25 @@ func (t *Table) Lookup(col string, v Value) ([]Row, error) {
 		return nil, nil
 	}
 	pl := pv.(*postingList)
-	rows := make([]Row, 0, len(pl.rows))
-	// Deterministic order: ascending primary key.
-	keys := make([]string, 0, len(pl.rows))
-	for k := range pl.rows {
-		keys = append(keys, k)
-	}
-	sortKeys(keys)
-	for _, k := range keys {
-		rows = append(rows, pl.rows[k])
-	}
-	return rows, nil
+	return pl.appendRows(make([]Row, 0, len(pl.entries))), nil
 }
 
 // Scan calls fn for every row in ascending primary-key order until fn
 // returns false. It is the linear-scan baseline for the index ablation.
+// fn runs under the table's read lock and must not mutate the table.
 func (t *Table) Scan(fn func(Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.primary.Ascend(func(_ []byte, val interface{}) bool {
 		return fn(val.(Row))
 	})
 }
 
-// ScanRange calls fn for rows with primary key in [lo, hi).
+// ScanRange calls fn for rows with primary key in [lo, hi). fn runs under
+// the table's read lock and must not mutate the table.
 func (t *Table) ScanRange(lo, hi Value, fn func(Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.primary.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, val interface{}) bool {
 		return fn(val.(Row))
 	})
@@ -250,10 +330,6 @@ func (t *Table) Select(pred func(Row) bool) []Row {
 	return out
 }
 
-func sortKeys(ks []string) {
-	for i := 1; i < len(ks); i++ {
-		for j := i; j > 0 && bytes.Compare([]byte(ks[j]), []byte(ks[j-1])) < 0; j-- {
-			ks[j], ks[j-1] = ks[j-1], ks[j]
-		}
-	}
-}
+// sortKeys sorts byte-encoded keys; Go string order is byte order, so
+// this matches bytes.Compare on the underlying encodings.
+func sortKeys(ks []string) { sort.Strings(ks) }

@@ -9,6 +9,12 @@ func (t *Table) Update(pk Value, row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.updateLocked(pk, row)
+}
+
+func (t *Table) updateLocked(pk Value, row Row) error {
 	key := encodeKey(pk)
 	newKey := encodeKey(row[t.schema.Primary])
 	if !bytes.Equal(key, newKey) {
@@ -35,32 +41,28 @@ func (t *Table) Upsert(row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	pk := row[t.schema.Primary]
 	if _, exists := t.primary.Get(encodeKey(pk)); exists {
-		return t.Update(pk, row)
+		return t.updateLocked(pk, row)
 	}
-	return t.Insert(row)
+	return t.insertLocked(row)
 }
 
 // LookupRange returns rows whose indexed column value lies in [lo, hi),
 // in ascending (column value, primary key) order. The column must have a
 // secondary index.
 func (t *Table) LookupRange(col string, lo, hi Value) ([]Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx, ok := t.secondary[col]
 	if !ok {
 		return nil, ErrNoIndex
 	}
 	var out []Row
 	idx.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, v interface{}) bool {
-		pl := v.(*postingList)
-		keys := make([]string, 0, len(pl.rows))
-		for k := range pl.rows {
-			keys = append(keys, k)
-		}
-		sortKeys(keys)
-		for _, k := range keys {
-			out = append(out, pl.rows[k])
-		}
+		out = v.(*postingList).appendRows(out)
 		return true
 	})
 	return out, nil
@@ -75,6 +77,8 @@ type Stats struct {
 
 // Stats returns the table's row count and index inventory.
 func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s := Stats{Rows: t.primary.Len(), Indexes: len(t.secondary)}
 	for name := range t.secondary {
 		s.IndexNames = append(s.IndexNames, name)

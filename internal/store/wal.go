@@ -3,7 +3,6 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
@@ -31,6 +30,11 @@ const (
 	// CRC covers the whole record, a crash mid-batch drops the batch
 	// atomically on recovery.
 	opInsertBatch byte = 4
+	// opCreateIndex records a secondary index: table name, column name.
+	// Replay re-creates the index (rebuilding it from the rows applied so
+	// far), so indexes are durable and stay maintained by every later
+	// record.
+	opCreateIndex byte = 5
 )
 
 type wal struct {
@@ -53,8 +57,10 @@ func openWAL(path string) (*wal, error) {
 }
 
 // replay streams every valid record to fn, then positions the file for
-// appending. On a corrupt or truncated tail it truncates the file to the
-// last valid record and reports how many records were dropped.
+// appending. On a corrupt or truncated tail — a bad frame, a CRC
+// mismatch, or a CRC-valid payload that fn rejects — it truncates the
+// file to the last record that applied cleanly and reports how many
+// records were dropped; it never fails on malformed input.
 func (l *wal) replay(fn func(payload []byte) error) (dropped int, err error) {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
@@ -86,7 +92,8 @@ func (l *wal) replay(fn func(payload []byte) error) (dropped int, err error) {
 			break
 		}
 		if err := fn(payload); err != nil {
-			return 0, fmt.Errorf("store: replay: %w", err)
+			dropped = 1
+			break
 		}
 		offset += int64(8 + n)
 	}
