@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/store
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIngestSharded/shards=1         	   10000	    208409 ns/op	    307088 rows/s
+BenchmarkIngestSharded/shards=4         	   10000	    105966 ns/op	    615462 rows/s
+BenchmarkQueryFanout/shards=4           	    2049	    586998 ns/op
+BenchmarkStoreInsert-8   	  500000	      2643 ns/op	     512 B/op	       9 allocs/op
+PASS
+ok  	repro/internal/store	4.960s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleBenchOutput), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" || !strings.Contains(report.CPU, "Xeon") {
+		t.Errorf("context lines not captured: %+v", report)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(report.Benchmarks))
+	}
+	first := report.Benchmarks[0]
+	if first.Name != "BenchmarkIngestSharded/shards=1" || first.Runs != 10000 {
+		t.Errorf("first result wrong: %+v", first)
+	}
+	if first.Pkg != "repro/internal/store" {
+		t.Errorf("pkg not attached: %q", first.Pkg)
+	}
+	if first.Metrics["ns/op"] != 208409 || first.Metrics["rows/s"] != 307088 {
+		t.Errorf("metrics wrong: %v", first.Metrics)
+	}
+	mem := report.Benchmarks[3]
+	if mem.Metrics["B/op"] != 512 || mem.Metrics["allocs/op"] != 9 {
+		t.Errorf("-benchmem metrics wrong: %v", mem.Metrics)
+	}
+}
+
+func TestRunWritesJSONAndEchoes(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var echoed strings.Builder
+	if err := run([]string{"-out", out}, strings.NewReader(sampleBenchOutput), &echoed); err != nil {
+		t.Fatal(err)
+	}
+	// Pass-through: the human-readable log is intact.
+	if echoed.String() != sampleBenchOutput {
+		t.Errorf("stdin not echoed verbatim:\n%s", echoed.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Errorf("JSON holds %d benchmarks, want 4", len(report.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &strings.Builder{}); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}
+
+func TestParseResultLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX twelve 34 ns/op",
+		"BenchmarkX 12 fast ns/op",
+	} {
+		if _, ok := parseResultLine(line); ok {
+			t.Errorf("malformed line parsed: %q", line)
+		}
+	}
+}

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	evaltab [-exp all|E1|E2|E3|F1|A1|A2|A3|A4|A5] [-n 50] [-seed 2005]
+//	evaltab [-exp all|E1|E2|E3|E4|E5|F1|A1–A7] [-n 50] [-seed 2005]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -23,88 +25,101 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evaltab: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	exp := flag.String("exp", "all", "experiment id: all, E1, E2, E3, F1, A1–A7")
-	n := flag.Int("n", 50, "corpus size")
-	seed := flag.Int64("seed", 2005, "corpus seed")
-	flag.Parse()
+// run parses flags and writes the requested experiment tables to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("evaltab", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment id: all, E1–E5, F1, A1–A7")
+	n := fs.Int("n", 50, "corpus size")
+	seed := fs.Int64("seed", 2005, "corpus seed")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	opts := records.DefaultGenOptions()
 	opts.N = *n
 	opts.Seed = *seed
 	recs := records.Generate(opts)
 
-	run := func(id string) {
+	runOne := func(id string) error {
 		switch id {
 		case "E1":
-			fmt.Println(eval.RunE1(recs, core.LinkGrammar))
-			fmt.Println("paper: precision (recall) for all eight numeric attributes is 100%")
+			fmt.Fprintln(out, eval.RunE1(recs, core.LinkGrammar))
+			fmt.Fprintln(out, "paper: precision (recall) for all eight numeric attributes is 100%")
 		case "E2":
 			ont := ontology.MustNew(ontology.Options{})
 			defer ont.Close()
-			fmt.Println(eval.RunE2(recs, ont, false))
-			fmt.Println("paper Table 1: 96.7/96.7, 76.1/86.4, 77.8/35, 62.0/75")
-			fmt.Println()
-			fmt.Println(eval.RunE2(recs, ont, true))
-			fmt.Println("(the paper's proposed improvement: \"introducing synonyms\")")
+			fmt.Fprintln(out, eval.RunE2(recs, ont, false))
+			fmt.Fprintln(out, "paper Table 1: 96.7/96.7, 76.1/86.4, 77.8/35, 62.0/75")
+			fmt.Fprintln(out)
+			fmt.Fprintln(out, eval.RunE2(recs, ont, true))
+			fmt.Fprintln(out, "(the paper's proposed improvement: \"introducing synonyms\")")
 		case "E3":
 			res := eval.RunE3(recs, *seed)
-			fmt.Print(res)
-			fmt.Println("paper: average precision (recall) 92.2%, features per tree 4-7")
+			fmt.Fprint(out, res)
+			fmt.Fprintln(out, "paper: average precision (recall) 92.2%, features per tree 4-7")
 		case "E4":
-			fmt.Println(eval.RunE4(recs, *seed))
-			fmt.Println("(the paper completed only smoking among the twelve categorical attributes)")
+			fmt.Fprintln(out, eval.RunE4(recs, *seed))
+			fmt.Fprintln(out, "(the paper completed only smoking among the twelve categorical attributes)")
 		case "E5":
 			ont := ontology.MustNew(ontology.Options{})
 			defer ont.Close()
-			fmt.Printf("E5 medication extraction: %v\n", eval.RunE5(recs, ont))
+			fmt.Fprintf(out, "E5 medication extraction: %v\n", eval.RunE5(recs, ont))
 		case "F1":
 			sent := textproc.SplitSentences("Blood pressure is 144/90, pulse of 84, temperature of 98.3, and weight of 154 pounds.")[0]
 			lk, err := linkgram.ParseSentence(sent)
 			if err != nil {
-				log.Fatalf("figure 1 sentence failed to parse: %v", err)
+				return fmt.Errorf("figure 1 sentence failed to parse: %v", err)
 			}
-			fmt.Println("F1 / Figure 1: linkage diagram")
-			fmt.Println(lk.Diagram())
+			fmt.Fprintln(out, "F1 / Figure 1: linkage diagram")
+			fmt.Fprintln(out, lk.Diagram())
 		case "A1":
 			diverse := records.DefaultGenOptions()
 			diverse.N = *n
 			diverse.Seed = *seed
 			diverse.StyleDiversity = 0.8
-			fmt.Println("A1 on canonical corpus (diversity 0):")
-			fmt.Println(eval.RunA1(recs))
-			fmt.Println("A1 on diverse corpus (diversity 0.8):")
-			fmt.Println(eval.RunA1(records.Generate(diverse)))
+			fmt.Fprintln(out, "A1 on canonical corpus (diversity 0):")
+			fmt.Fprintln(out, eval.RunA1(recs))
+			fmt.Fprintln(out, "A1 on diverse corpus (diversity 0.8):")
+			fmt.Fprintln(out, eval.RunA1(records.Generate(diverse)))
 		case "A2":
-			fmt.Println(eval.RunA2(recs, *seed))
+			fmt.Fprintln(out, eval.RunA2(recs, *seed))
 		case "A3":
-			fmt.Println(eval.RunA3(recs, *seed))
+			fmt.Fprintln(out, eval.RunA3(recs, *seed))
 		case "A4":
 			res, err := eval.RunA4(recs, []float64{0.5, 0.7, 0.9, 1.0})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Println(res)
+			fmt.Fprintln(out, res)
 		case "A5":
-			fmt.Println(eval.RunA5([]float64{0, 0.25, 0.5, 0.75, 1.0}, *n, *seed))
+			fmt.Fprintln(out, eval.RunA5([]float64{0, 0.25, 0.5, 0.75, 1.0}, *n, *seed))
 		case "A6":
-			fmt.Println(eval.RunA6(recs, *seed))
+			fmt.Fprintln(out, eval.RunA6(recs, *seed))
 		case "A7":
 			ont := ontology.MustNew(ontology.Options{})
 			defer ont.Close()
-			fmt.Println(eval.RunA7(recs, ont))
+			fmt.Fprintln(out, eval.RunA7(recs, ont))
 		default:
-			log.Fatalf("unknown experiment %q", id)
+			return fmt.Errorf("unknown experiment %q", id)
 		}
+		return nil
 	}
 
 	if strings.EqualFold(*exp, "all") {
 		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "A1", "A2", "A3", "A4", "A5", "A6", "A7"} {
-			fmt.Printf("================ %s ================\n", id)
-			run(id)
-			fmt.Println()
+			fmt.Fprintf(out, "================ %s ================\n", id)
+			if err := runOne(id); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		return
+		return nil
 	}
-	run(strings.ToUpper(*exp))
+	return runOne(strings.ToUpper(*exp))
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEvaltabE1 pins the headline experiment's output shape: the E1
+// table plus the paper-claim footer, on a small fixed corpus.
+func TestEvaltabE1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E1", "-n", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"E1",
+		"paper: precision (recall) for all eight numeric attributes is 100%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("E1 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestEvaltabF1 pins the Figure 1 linkage diagram: it must render the
+// parsed sentence with link-grammar connectors.
+func TestEvaltabF1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "F1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "F1 / Figure 1: linkage diagram") {
+		t.Errorf("F1 header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "pulse") || !strings.Contains(got, "+") {
+		t.Errorf("diagram not rendered:\n%s", got)
+	}
+}
+
+// TestEvaltabLowercaseAndUnknown covers the id normalization and the
+// error path.
+func TestEvaltabLowercaseAndUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "f1"}, &out); err != nil {
+		t.Errorf("lowercase experiment id rejected: %v", err)
+	}
+	if err := run([]string{"-exp", "Z9"}, &strings.Builder{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"stray"}, &strings.Builder{}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,13 +19,24 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gencorpus: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	out := flag.String("out", "corpus", "output directory")
-	n := flag.Int("n", 50, "number of records")
-	seed := flag.Int64("seed", 2005, "random seed")
-	diversity := flag.Float64("diversity", 0, "writing-style diversity in [0,1]")
-	show := flag.Bool("show", false, "print the first record to stdout")
-	flag.Parse()
+// run parses flags, generates the corpus, writes it to disk, and
+// reports to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gencorpus", flag.ExitOnError)
+	outDir := fs.String("out", "corpus", "output directory")
+	n := fs.Int("n", 50, "number of records")
+	seed := fs.Int64("seed", 2005, "random seed")
+	diversity := fs.Float64("diversity", 0, "writing-style diversity in [0,1]")
+	show := fs.Bool("show", false, "print the first record to stdout")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	opts := records.DefaultGenOptions()
 	opts.N = *n
@@ -32,12 +44,13 @@ func main() {
 	opts.StyleDiversity = *diversity
 
 	recs := records.Generate(opts)
-	if err := records.WriteCorpus(*out, recs); err != nil {
-		log.Fatal(err)
+	if err := records.WriteCorpus(*outDir, recs); err != nil {
+		return err
 	}
-	fmt.Printf("wrote %d records and gold.json to %s\n", len(recs), *out)
+	fmt.Fprintf(out, "wrote %d records and gold.json to %s\n", len(recs), *outDir)
 	if *show && len(recs) > 0 {
-		fmt.Fprintln(os.Stdout, "---")
-		fmt.Fprint(os.Stdout, recs[0].Text)
+		fmt.Fprintln(out, "---")
+		fmt.Fprint(out, recs[0].Text)
 	}
+	return nil
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/records"
+)
+
+// TestGenCorpusSmoke mirrors the medex CLI smoke tests: run the command
+// against a temp directory and pin the observable contract — the
+// announcement line, the per-record text files, and a gold.json that
+// round-trips through records.ReadCorpus.
+func TestGenCorpusSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out strings.Builder
+	if err := run([]string{"-out", dir, "-n", "5", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "wrote 5 records and gold.json to "+dir) {
+		t.Errorf("announcement wrong:\n%s", got)
+	}
+
+	recs, err := records.ReadCorpus(dir)
+	if err != nil {
+		t.Fatalf("generated corpus does not read back: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("gold.json holds %d records, want 5", len(recs))
+	}
+	for _, r := range recs {
+		name := filepath.Join(dir, fmt.Sprintf("patient%03d.txt", r.ID))
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("record file missing: %v", err)
+		}
+		if string(raw) != r.Text {
+			t.Errorf("record %d file does not match gold text", r.ID)
+		}
+		if !strings.Contains(r.Text, "Patient") {
+			t.Errorf("record %d lacks a Patient section:\n%s", r.ID, r.Text)
+		}
+	}
+
+	// Same seed → identical corpus (the experiments depend on this).
+	dir2 := filepath.Join(t.TempDir(), "corpus2")
+	if err := run([]string{"-out", dir2, "-n", "5", "-seed", "7"}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	recs2, err := records.ReadCorpus(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if recs[i].Text != recs2[i].Text {
+			t.Errorf("record %d not deterministic for a fixed seed", recs[i].ID)
+		}
+	}
+}
+
+func TestGenCorpusShowPrintsFirstRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out strings.Builder
+	if err := run([]string{"-out", dir, "-n", "2", "-show"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "---") || !strings.Contains(got, "Patient") {
+		t.Errorf("-show did not print the first record:\n%s", got)
+	}
+}
+
+func TestGenCorpusRejectsPositionalArgs(t *testing.T) {
+	if err := run([]string{"stray"}, &strings.Builder{}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}

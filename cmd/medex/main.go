@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	medex [extract] -corpus corpus/ [-db extracted.db]
+//	medex [extract] -corpus corpus/ [-db extracted.db] [-shards 4]
 //	      [-strategy link-grammar] [-synonyms] [-train-smoking]
 //	medex query -db extracted.db -attr pulse -min 100
 //	medex query -db extracted.db -attr smoking -value current
 //	medex query -db extracted.db -patient 12
+//
+// -shards 1 (the default) writes the single-file layout earlier
+// versions produced; -shards N partitions the store across N shard
+// WALs so ingest and queries parallelize. query auto-detects the
+// layout on disk.
 package main
 
 import (
@@ -61,6 +66,7 @@ func runExtract(args []string) error {
 	trainSmoking := fs.Bool("train-smoking", true, "train the smoking classifier on the corpus gold labels")
 	verbose := fs.Bool("v", false, "print every extracted attribute")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "store shard count (1 = single-file layout, compatible with old databases)")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("extract: unexpected argument %q", fs.Arg(0))
@@ -83,15 +89,18 @@ func runExtract(args []string) error {
 		sys.TrainSmoking(recs)
 	}
 
+	if *shards < 1 {
+		return fmt.Errorf("extract: -shards must be at least 1, got %d", *shards)
+	}
 	var db *store.DB
 	if *dbPath != "" {
-		db, err = store.Open(*dbPath)
+		db, err = store.OpenSharded(*dbPath, *shards)
 		if err != nil {
 			return err
 		}
 		defer db.Close()
 	} else {
-		db = store.OpenMemory()
+		db = store.OpenMemorySharded(*shards)
 	}
 	// Opening the warehouse before ingest creates the extracted table's
 	// secondary indexes up front, so every InsertBatch maintains them

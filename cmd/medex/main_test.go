@@ -29,10 +29,13 @@ func TestParseStrategy(t *testing.T) {
 // queryTestDB persists a small synthetic extraction set to a WAL-backed
 // database, with warehouse indexes created before ingest (the medex
 // extract order).
-func queryTestDB(t *testing.T) string {
+func queryTestDB(t *testing.T) string { return shardedQueryTestDB(t, 1) }
+
+// shardedQueryTestDB is queryTestDB with an explicit shard count.
+func shardedQueryTestDB(t *testing.T, shards int) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "extracted.db")
-	db, err := store.Open(path)
+	db, err := store.OpenSharded(path, shards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +114,54 @@ func TestQueryCommand(t *testing.T) {
 	}
 	if err := runQuery([]string{}, &out); err == nil {
 		t.Error("query without -db accepted")
+	}
+}
+
+// TestQueryCommandSharded pins the fan-out acceptance path: the same
+// questions against a 3-shard store return the same answers as the
+// single-shard run in TestQueryCommand, still fully indexed, with the
+// layout auto-detected and the fan-out width reported in the plan.
+func TestQueryCommandSharded(t *testing.T) {
+	path := shardedQueryTestDB(t, 3)
+
+	var out strings.Builder
+	if err := runQuery([]string{"-db", path, "-attr", "smoking", "-value", "current"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "patients (4): 2 4 6 8") {
+		t.Errorf("sharded equality answer differs from single-shard:\n%s", got)
+	}
+	if !strings.Contains(got, "1/1 conditions indexed") || !strings.Contains(got, "0 full scans") {
+		t.Errorf("sharded equality question did not use the index:\n%s", got)
+	}
+	if !strings.Contains(got, "3 shard(s)") {
+		t.Errorf("plan does not report the fan-out width:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-attr", "pulse", "-min", "95"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "patients (4): 6 7 8 9") {
+		t.Errorf("sharded range answer differs from single-shard:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-patient", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "patient 4 (2 attribute rows)") {
+		t.Errorf("sharded patient chart wrong:\n%s", got)
+	}
+
+	// An explicit matching -shards works; a conflicting one is refused.
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-shards", "3", "-patient", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery([]string{"-db", path, "-shards", "2", "-patient", "4"}, &out); err == nil {
+		t.Error("conflicting -shards accepted (resharding is unsupported)")
 	}
 }
 

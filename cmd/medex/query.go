@@ -26,6 +26,7 @@ func runQuery(args []string, out io.Writer) error {
 	max := fs.Float64("max", 0, "upper bound on the numeric value (exclusive)")
 	patient := fs.Int64("patient", 0, "print every attribute of one patient instead")
 	rows := fs.Bool("rows", false, "print matching attribute rows, not just patient ids")
+	shards := fs.Int("shards", 0, "expected shard count (0 = auto-detect the on-disk layout)")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("query: unexpected argument %q", fs.Arg(0))
@@ -35,11 +36,12 @@ func runQuery(args []string, out io.Writer) error {
 		return fmt.Errorf("query: -db is required")
 	}
 	// store.Open creates missing files; a query against a typo'd path
-	// should error, not fabricate an empty database.
+	// should error, not fabricate an empty database. Both layouts — a
+	// single WAL file and a shard directory — pass the Stat.
 	if _, err := os.Stat(*dbPath); err != nil {
 		return fmt.Errorf("query: %w (run medex extract -db first)", err)
 	}
-	db, err := store.Open(*dbPath)
+	db, err := store.OpenSharded(*dbPath, *shards)
 	if err != nil {
 		return err
 	}
@@ -113,8 +115,9 @@ func runQuery(args []string, out io.Writer) error {
 	return nil
 }
 
-// planLine summarizes how the question executed.
+// planLine summarizes how the question executed, including the fan-out
+// width so a sharded store is visible from the CLI.
 func planLine(s core.QueryStats) string {
-	return fmt.Sprintf("plan: %d/%d conditions indexed, %d index probes, %d rows examined, %d full scans",
-		s.IndexedConds, s.Conds, s.IndexProbes, s.RowsExamined, s.FullScans)
+	return fmt.Sprintf("plan: %d/%d conditions indexed, %d index probes, %d rows examined, %d full scans, %d shard(s)",
+		s.IndexedConds, s.Conds, s.IndexProbes, s.RowsExamined, s.FullScans, s.Shards)
 }

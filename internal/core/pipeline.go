@@ -175,19 +175,30 @@ const persistBatchRows = 512
 // Persist writes an extraction into the database, one row per attribute
 // value and one WAL record for the whole extraction, and returns the
 // number of rows written.
-func Persist(db *store.DB, ex Extraction) (int, error) {
+func Persist(db store.Engine, ex Extraction) (int, error) {
 	return PersistAll(db, []Extraction{ex})
 }
 
 // PersistAll writes many extractions into the database, creating the
 // extracted table once and batching rows into a few WAL records instead
 // of logging row-at-a-time. It returns the number of rows written.
-func PersistAll(db *store.DB, exs []Extraction) (int, error) {
+//
+// PersistAll is engine-agnostic: on a sharded engine each InsertBatch
+// call routes its rows to their home shards and flushes the per-shard
+// sub-batches to the shard WALs in parallel, so ingest throughput
+// scales with the shard count instead of serializing on one log mutex.
+func PersistAll(db store.Engine, exs []Extraction) (int, error) {
 	tbl, err := db.CreateTable(resultSchema())
 	if err != nil {
 		return 0, err
 	}
-	next := int64(tbl.Len()) + 1
+	// Seed ids past the largest existing key, not the row count: a
+	// recovered store can hold sparse ids (a torn shard WAL drops rows
+	// from the middle of the id space), and Len()+1 would collide.
+	next := int64(1)
+	if maxPK, ok := tbl.MaxPK(); ok {
+		next = maxPK.I + 1
+	}
 	written := 0
 	batch := make([]store.Row, 0, persistBatchRows)
 	flush := func() error {

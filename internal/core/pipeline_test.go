@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/records"
@@ -61,6 +63,55 @@ func TestPersistExtraction(t *testing.T) {
 		}
 		return true
 	})
+}
+
+// TestPersistAllAfterShardCrash reproduces the recovery scenario a
+// torn shard WAL creates: ids become sparse (a middle slice of the id
+// space is lost with one shard's tail), and a subsequent PersistAll
+// must allocate past the surviving maximum instead of colliding with
+// it.
+func TestPersistAllAfterShardCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "extracted.db")
+	db, err := store.OpenSharded(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := []Extraction{
+		{Patient: 1, Numeric: map[string]NumericValue{"pulse": {Attr: "pulse", Value: 80}, "weight": {Attr: "weight", Value: 70}}},
+		{Patient: 2, Numeric: map[string]NumericValue{"pulse": {Attr: "pulse", Value: 90}, "weight": {Attr: "weight", Value: 80}}},
+		{Patient: 3, Smoking: "never"},
+	}
+	if _, err := PersistAll(db, exs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail off one shard's WAL: that shard loses rows whose
+	// ids sit anywhere in the global sequence.
+	wal := filepath.Join(path, "shard-001", "wal.log")
+	st, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, st.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = store.OpenSharded(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if !db.RecoveredWithLoss() {
+		t.Fatal("fixture did not lose rows; test proves nothing")
+	}
+	// The recovered store must accept a fresh persistence pass without
+	// duplicate-key collisions against the surviving sparse ids.
+	if _, err := PersistAll(db, exs); err != nil {
+		t.Fatalf("PersistAll after shard crash: %v", err)
+	}
 }
 
 func TestNewSystemDefaults(t *testing.T) {

@@ -14,10 +14,13 @@ import (
 // It answers attribute questions ("patients with pulse above 100 and a
 // positive smoking status") directly from the store through secondary
 // indexes, and is safe to use concurrently with a live ingest — queries
-// run under the table's read lock while ProcessStream + PersistAll keep
-// inserting.
+// run under the shards' read locks while ProcessStream + PersistAll keep
+// inserting. On a sharded engine every condition fans out across the
+// shards concurrently and the merged rows and QueryStats come back as
+// one answer, so questions see the whole table regardless of how it is
+// partitioned.
 type Warehouse struct {
-	db  *store.DB
+	db  store.Engine
 	tbl *store.Table
 	ont *ontology.Ontology // optional: resolves concept terms to preferred names
 }
@@ -26,7 +29,7 @@ type Warehouse struct {
 // and ensures its secondary indexes on the attribute and patient columns.
 // A nil ontology disables synonym resolution in term conditions; terms
 // then match by normalized string only.
-func OpenWarehouse(db *store.DB, ont *ontology.Ontology) (*Warehouse, error) {
+func OpenWarehouse(db store.Engine, ont *ontology.Ontology) (*Warehouse, error) {
 	tbl, err := db.CreateTable(resultSchema())
 	if err != nil {
 		return nil, err
@@ -135,13 +138,16 @@ func (w *Warehouse) resolveTerm(term string) string {
 }
 
 // QueryStats aggregates the store-level execution stats of a warehouse
-// question, one entry per condition.
+// question, one entry per condition. On a sharded engine the per-shard
+// stats of each condition arrive pre-merged; Shards reports the fan-out
+// width.
 type QueryStats struct {
 	Conds        int
 	IndexedConds int // conditions answered via a secondary index
 	IndexProbes  int
 	RowsExamined int
 	FullScans    int
+	Shards       int // partitions each condition fanned out across
 }
 
 func (s *QueryStats) add(st store.QueryStats) {
@@ -154,6 +160,9 @@ func (s *QueryStats) add(st store.QueryStats) {
 	}
 	s.IndexProbes += st.IndexProbes
 	s.RowsExamined += st.RowsExamined
+	if st.Shards > s.Shards {
+		s.Shards = st.Shards
+	}
 }
 
 // Ask answers a paper-style question: it returns the sorted patient ids

@@ -44,6 +44,32 @@ func (t *btree) Get(key []byte) (interface{}, bool) {
 	}
 }
 
+// Max returns the largest key's value and whether the tree is
+// non-empty: a walk down the rightmost spine, backtracking past
+// subtrees that lazy deletion has emptied.
+func (t *btree) Max() ([]byte, interface{}, bool) {
+	if t.size == 0 {
+		return nil, nil, false
+	}
+	return t.root.max()
+}
+
+func (n *bnode) max() ([]byte, interface{}, bool) {
+	if n.leaf {
+		if len(n.keys) == 0 {
+			return nil, nil, false
+		}
+		last := len(n.keys) - 1
+		return n.keys[last], n.vals[last], true
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		if k, v, ok := n.children[i].max(); ok {
+			return k, v, ok
+		}
+	}
+	return nil, nil, false
+}
+
 // Put inserts or replaces the value for key. It reports whether the key
 // was newly inserted.
 func (t *btree) Put(key []byte, val interface{}) bool {

@@ -1,54 +1,85 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"sync"
 )
 
 // compactBatchRows is how many live rows Compact frames per batch record.
 const compactBatchRows = 512
 
-// Compact rewrites the write-ahead log so it contains exactly the live
-// state (one create-table record per table, batch-insert records covering
-// the live rows), dropping superseded inserts and deletes. The rewrite
-// goes to a temporary file that atomically replaces the log, so a crash
-// during compaction leaves either the old or the new log intact.
+// Compact rewrites every shard's write-ahead log so it contains exactly
+// that shard's live state (one create-table record per table, its
+// create-index records, batch-insert records covering the live rows),
+// dropping superseded inserts and deletes. Shards compact in parallel
+// and independently: each rewrite goes to a temporary file that
+// atomically replaces that shard's log, so a crash during compaction
+// leaves each shard with either its old or its new log intact.
 //
 // Long-running deployments of the extraction pipeline append one insert
-// per extracted attribute; compaction bounds recovery time.
+// per extracted attribute; compaction bounds recovery time — and with
+// sharding, recovery and compaction both parallelize across shards.
 func (db *DB) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.log == nil {
-		return nil // in-memory databases have nothing to compact
+	if len(db.shards) == 1 {
+		return db.compactShard(db.shards[0])
 	}
-	// Freeze every table for the rewrite: a concurrent writer would
-	// otherwise append to the old log after its rows were (or weren't)
-	// scanned, and the record would vanish in the swap.
-	lockNames := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
+	for i, sh := range db.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			errs[i] = db.compactShard(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// compactShard rewrites one shard's WAL. Callers hold db.mu.
+func (db *DB) compactShard(sh *Shard) error {
+	if sh.failed != nil {
+		// A previous compaction lost this shard's log; pretending the
+		// rewrite succeeded would hide a dead shard.
+		return sh.failed
+	}
+	if sh.log == nil {
+		return nil // in-memory shards have nothing to compact
+	}
+	// Freeze this shard's slice of every table for the rewrite: a
+	// concurrent writer would otherwise append to the old log after its
+	// rows were (or weren't) scanned, and the record would vanish in
+	// the swap. Writers on other shards proceed untouched.
+	lockNames := make([]string, 0, len(sh.tables))
+	for n := range sh.tables {
 		lockNames = append(lockNames, n)
 	}
 	sortKeys(lockNames)
 	for _, n := range lockNames {
-		db.tables[n].mu.Lock()
-		defer db.tables[n].mu.Unlock()
+		sh.tables[n].mu.Lock()
+		defer sh.tables[n].mu.Unlock()
 	}
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	tmpPath := db.path + ".compact"
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	tmpPath := sh.path + ".compact"
 	tmp, err := openWAL(tmpPath)
 	if err != nil {
 		return err
 	}
+	// cleanup closes and removes the temporary log; used on every error
+	// path before the swap so no file handle or stray file leaks.
 	cleanup := func() {
 		tmp.close()
 		os.Remove(tmpPath)
 	}
 
 	for _, name := range lockNames {
-		t := db.tables[name]
-		s := t.schema
+		ts := sh.tables[name]
+		s := ts.schema
 		if err := tmp.append(encodeCreateTablePayload(s)); err != nil {
 			cleanup()
 			return err
@@ -56,8 +87,8 @@ func (db *DB) Compact() error {
 		// Indexes are part of the live state: carry one create-index
 		// record per secondary index so they exist after replay of the
 		// compacted log.
-		idxCols := make([]string, 0, len(t.secondary))
-		for col := range t.secondary {
+		idxCols := make([]string, 0, len(ts.secondary))
+		for col := range ts.secondary {
 			idxCols = append(idxCols, col)
 		}
 		sortKeys(idxCols)
@@ -77,7 +108,7 @@ func (db *DB) Compact() error {
 			batch = batch[:0]
 			return tmp.append(p)
 		}
-		t.primary.Ascend(func(_ []byte, val interface{}) bool {
+		ts.primary.Ascend(func(_ []byte, val interface{}) bool {
 			batch = append(batch, val.(Row))
 			if len(batch) >= compactBatchRows {
 				if err := flush(); err != nil {
@@ -104,33 +135,31 @@ func (db *DB) Compact() error {
 		return err
 	}
 
-	// Swap: close the old log, rename, reopen for appending.
-	if err := db.log.close(); err != nil {
+	// Swap: close the old log, rename, reopen for appending. Once the
+	// old log is closed, sh.log is nilled and any error below latches
+	// sh.failed, so later appends report the lost log instead of
+	// writing to a closed file (or silently skipping durability);
+	// reopening the database recovers.
+	if err := sh.log.close(); err != nil {
 		os.Remove(tmpPath)
 		return err
 	}
-	if err := os.Rename(tmpPath, db.path); err != nil {
-		return fmt.Errorf("store: compact rename: %w (database closed; reopen to recover)", err)
-	}
-	l, err := openWAL(db.path)
-	if err != nil {
+	sh.log = nil
+	fail := func(err error) error {
+		sh.failed = err
 		return err
+	}
+	if err := os.Rename(tmpPath, sh.path); err != nil {
+		return fail(fmt.Errorf("store: compact rename: %w (shard closed; reopen to recover)", err))
+	}
+	l, err := openWAL(sh.path)
+	if err != nil {
+		return fail(fmt.Errorf("store: compact reopen: %w (shard closed; reopen to recover)", err))
 	}
 	if _, err := l.replay(func([]byte) error { return nil }); err != nil {
 		l.close()
-		return err
+		return fail(fmt.Errorf("store: compact reopen replay: %w (shard closed; reopen to recover)", err))
 	}
-	db.log = l
+	sh.log = l
 	return nil
-}
-
-// LogSize returns the current size of the write-ahead log in bytes
-// (0 for in-memory databases).
-func (db *DB) LogSize() int64 {
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	if db.log == nil {
-		return 0
-	}
-	return db.log.len
 }

@@ -1,82 +1,355 @@
 package store
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 )
 
-// DB is an embedded database: a set of tables durably backed by one
-// write-ahead log file. Open replays the log; a corrupted tail (crash) is
-// truncated.
+// DB is an embedded database engine: a set of tables hash-partitioned
+// by primary key across one or more shards, each shard durably backed
+// by its own write-ahead log. Open replays every shard's log (in
+// parallel); a corrupted tail (crash) is truncated per shard.
 //
-// Locking: db.mu guards the tables map and the log pointer swap
-// (Compact); logMu serializes every append/flush on the shared log;
-// each Table carries its own RWMutex for row and index state. Lock
-// order is db.mu → Table.mu → logMu, and no path acquires them in the
-// opposite direction, so concurrent readers overlap a live ingest
-// without deadlock.
+// Layouts. A single-shard engine stores its WAL in a plain file at
+// path — byte-compatible with pre-shard databases, which open
+// unchanged. A multi-shard engine stores path as a directory of
+// per-shard subdirectories:
+//
+//	path/
+//	  shard-000/wal.log
+//	  shard-001/wal.log
+//	  ...
+//
+// The shard count is fixed at creation; reopening detects it from the
+// directory and rejects a conflicting request (resharding would
+// re-route every row).
+//
+// Locking: db.mu guards the tables map and shard lifecycle (Compact's
+// log swaps); each tableShard carries its own RWMutex for row and
+// index state; each Shard has a logMu serializing appends to its WAL.
+// Lock order is db.mu → tableShard.mu → Shard.logMu, and no path
+// acquires them in the opposite direction, so concurrent readers and
+// writers on different shards never deadlock and never contend.
 type DB struct {
 	mu      sync.RWMutex
-	logMu   sync.Mutex // serializes WAL appends across tables
-	log     *wal
+	shards  []*Shard
 	tables  map[string]*Table
 	path    string
-	dropped int // WAL records dropped during recovery
+	sharded bool // directory layout (true) vs single-file (false)
 }
 
-// Open opens (creating if necessary) the database at path.
-func Open(path string) (*DB, error) {
-	l, err := openWAL(path)
+// shardWALName is the WAL file inside each shard subdirectory.
+const shardWALName = "wal.log"
+
+// shardDirName formats the subdirectory of shard i.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// Open opens (creating if necessary) the database at path with the
+// layout found on disk: a plain file (or a fresh path) is a
+// single-shard engine, a shard directory keeps its existing shard
+// count. It is OpenSharded(path, 0).
+func Open(path string) (*DB, error) { return OpenSharded(path, 0) }
+
+// OpenSharded opens (creating if necessary) the database at path with n
+// shards. n <= 0 auto-detects: an existing layout keeps its shard
+// count, a fresh path defaults to one shard. Creating a fresh path with
+// n > 1 lays out per-shard subdirectories; n == 1 creates the
+// pre-shard-compatible single file. Opening an existing database with a
+// conflicting n fails — resharding is not supported.
+func OpenSharded(path string, n int) (*DB, error) {
+	paths, sharded, err := resolveLayout(path, n)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{log: l, tables: make(map[string]*Table), path: path}
-	dropped, err := l.replay(db.applyLogRecord)
-	if err != nil {
-		l.close()
+	// Open and replay every shard in parallel: recovery time is the
+	// slowest shard, not the sum.
+	shards := make([]*Shard, len(paths))
+	errs := make([]error, len(paths))
+	var wg sync.WaitGroup
+	for i, p := range paths {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			shards[i], errs[i] = openShard(i, p)
+		}(i, p)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		// A partial open must not leak the shards that did succeed.
+		for _, sh := range shards {
+			if sh != nil {
+				sh.close()
+			}
+		}
 		return nil, err
 	}
-	db.dropped = dropped
+	db := &DB{shards: shards, tables: make(map[string]*Table), path: path, sharded: sharded}
+	if err := db.buildRouters(); err != nil {
+		db.Close()
+		return nil, err
+	}
 	return db, nil
 }
 
-// OpenMemory returns a database with no durable log: all operations stay
-// in memory. Useful for tests and benchmarks.
-func OpenMemory() *DB {
-	return &DB{tables: make(map[string]*Table)}
+// resolveLayout maps (path, requested shard count) to the per-shard WAL
+// paths, creating shard subdirectories for a fresh multi-shard engine.
+func resolveLayout(path string, n int) (paths []string, sharded bool, err error) {
+	st, err := os.Stat(path)
+	switch {
+	case err == nil && !st.IsDir():
+		if n > 1 {
+			return nil, false, fmt.Errorf("store: %s is a single-file store; cannot open with %d shards (resharding unsupported)", path, n)
+		}
+		return []string{path}, false, nil
+	case err == nil: // existing directory
+		m, other, err := countShardDirs(path)
+		if err != nil {
+			return nil, false, err
+		}
+		if m == 0 {
+			// Never fabricate a database inside a directory that is
+			// not one: an explicit shard count may lay out a pre-made
+			// *empty* directory, but a directory with foreign content
+			// (a corpus dir, a typo'd path) or an auto-detect open is
+			// refused.
+			if other > 0 {
+				return nil, false, fmt.Errorf("store: %s exists and is not a database directory", path)
+			}
+			if n < 1 {
+				return nil, false, fmt.Errorf("store: %s is an empty directory, not a database (pass a shard count to initialize it)", path)
+			}
+			return makeShardDirs(path, n)
+		}
+		if n > 0 && n != m {
+			return nil, false, fmt.Errorf("store: %s has %d shards, opened with %d (resharding unsupported)", path, m, n)
+		}
+		return shardWALPaths(path, m), true, nil
+	case os.IsNotExist(err):
+		if n <= 1 {
+			return []string{path}, false, nil // compatible single-file default
+		}
+		return makeShardDirs(path, n)
+	default:
+		return nil, false, err
+	}
 }
 
-// RecoveredWithLoss reports whether Open had to truncate a corrupt WAL
-// tail.
-func (db *DB) RecoveredWithLoss() bool { return db.dropped > 0 }
+// countShardDirs counts the shard-NNN subdirectories of dir (exact
+// names only — "shard-000-backup" is a foreign entry, not a shard),
+// verifying they are contiguous from shard-000. other reports how many
+// entries are not shard directories, so callers can tell an empty
+// pre-made directory from one holding unrelated content.
+func countShardDirs(dir string) (n, other int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	present := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		i, ok := parseShardDirName(e.Name())
+		if !ok {
+			other++
+			continue
+		}
+		if !e.IsDir() {
+			return 0, 0, fmt.Errorf("store: %s is not a directory", filepath.Join(dir, e.Name()))
+		}
+		present[shardDirName(i)] = true
+		n++
+	}
+	for i := 0; i < n; i++ {
+		if !present[shardDirName(i)] {
+			return 0, 0, fmt.Errorf("store: %s: shard directories not contiguous (missing %s)", dir, shardDirName(i))
+		}
+	}
+	return n, other, nil
+}
 
-// Close flushes and closes the log.
+// parseShardDirName inverts shardDirName exactly: "shard-" followed by
+// digits, round-tripping to the same name (so trailing garbage and
+// wrong zero-padding are rejected rather than miscounted).
+func parseShardDirName(name string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(name, "shard-%d", &i); err != nil || i < 0 {
+		return 0, false
+	}
+	if shardDirName(i) != name {
+		return 0, false
+	}
+	return i, true
+}
+
+// shardWALPaths lists the WAL path of each of dir's n shards.
+func shardWALPaths(dir string, n int) []string {
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, shardDirName(i), shardWALName)
+	}
+	return paths
+}
+
+// makeShardDirs creates dir and its n shard subdirectories.
+func makeShardDirs(dir string, n int) ([]string, bool, error) {
+	for i := 0; i < n; i++ {
+		if err := os.MkdirAll(filepath.Join(dir, shardDirName(i)), 0o755); err != nil {
+			return nil, false, err
+		}
+	}
+	return shardWALPaths(dir, n), true, nil
+}
+
+// buildRouters unifies the per-shard table states replayed from each
+// WAL into cross-shard Table routers. Shards normally agree on the
+// table and index inventory (CreateTable and CreateIndex log to every
+// shard); a shard whose WAL lost the tail of that inventory to a crash
+// is repaired by re-appending the missing create records, so the
+// invariant "every shard WAL self-describes its tables and indexes"
+// holds again after open. Conflicting schemas for the same table name
+// are corruption and fail the open.
+func (db *DB) buildRouters() error {
+	nameSet := make(map[string]bool)
+	for _, sh := range db.shards {
+		for name := range sh.tables {
+			nameSet[name] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sortKeys(names)
+
+	for _, name := range names {
+		var schema Schema
+		found := false
+		for _, sh := range db.shards {
+			ts, ok := sh.tables[name]
+			if !ok {
+				continue
+			}
+			if !found {
+				schema, found = ts.schema, true
+			} else if !schemaEqual(schema, ts.schema) {
+				return fmt.Errorf("store: shards disagree on schema of table %q", name)
+			}
+		}
+		idxSet := make(map[string]bool)
+		for _, sh := range db.shards {
+			if ts, ok := sh.tables[name]; ok {
+				for col := range ts.secondary {
+					idxSet[col] = true
+				}
+			}
+		}
+		idxCols := make([]string, 0, len(idxSet))
+		for c := range idxSet {
+			idxCols = append(idxCols, c)
+		}
+		sortKeys(idxCols)
+
+		shards := make([]*tableShard, len(db.shards))
+		for i, sh := range db.shards {
+			ts, ok := sh.tables[name]
+			if !ok {
+				if err := sh.appendLog(encodeCreateTablePayload(schema)); err != nil {
+					return err
+				}
+				ts = sh.newTableShard(schema)
+			}
+			for _, col := range idxCols {
+				if _, ok := ts.secondary[col]; !ok {
+					if err := sh.appendLog(encodeCreateIndexPayload(name, col)); err != nil {
+						return err
+					}
+					ts.createIndexLocked(col)
+				}
+			}
+			shards[i] = ts
+		}
+		db.tables[name] = &Table{schema: schema, shards: shards}
+	}
+	return nil
+}
+
+// schemaEqual reports whether two schemas are identical.
+func schemaEqual(a, b Schema) bool {
+	if a.Name != b.Name || a.Primary != b.Primary || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenMemory returns a single-shard database with no durable log: all
+// operations stay in memory. Useful for tests and benchmarks.
+func OpenMemory() *DB { return OpenMemorySharded(1) }
+
+// OpenMemorySharded returns an n-shard in-memory database.
+func OpenMemorySharded(n int) *DB {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*Shard, n)
+	for i := range shards {
+		shards[i] = memShard(i)
+	}
+	return &DB{shards: shards, tables: make(map[string]*Table), sharded: n > 1}
+}
+
+// Shards returns the engine's shard count.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// RecoveredWithLoss reports whether Open had to truncate a corrupt WAL
+// tail on any shard.
+func (db *DB) RecoveredWithLoss() bool {
+	for _, sh := range db.shards {
+		if sh.dropped > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Close flushes and closes every shard's log.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	if db.log == nil {
-		return nil
+	errs := make([]error, len(db.shards))
+	for i, sh := range db.shards {
+		errs[i] = sh.close()
 	}
-	err := db.log.close()
-	db.log = nil
-	return err
+	return errors.Join(errs...)
 }
 
-// Sync flushes buffered log records to stable storage.
+// Sync flushes buffered log records on every shard to stable storage.
 func (db *DB) Sync() error {
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	if db.log == nil {
-		return nil
+	errs := make([]error, len(db.shards))
+	for i, sh := range db.shards {
+		errs[i] = sh.sync()
 	}
-	return db.log.sync()
+	return errors.Join(errs...)
 }
 
-// CreateTable creates a table with the given schema. Creating an existing
-// table with an identical schema is a no-op.
+// LogSize returns the total size of the write-ahead logs in bytes
+// (0 for in-memory databases).
+func (db *DB) LogSize() int64 {
+	var total int64
+	for _, sh := range db.shards {
+		total += sh.logSize()
+	}
+	return total
+}
+
+// CreateTable creates a table with the given schema on every shard.
+// Creating an existing table with an identical schema is a no-op.
 func (db *DB) CreateTable(s Schema) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -86,10 +359,18 @@ func (db *DB) CreateTable(s Schema) (*Table, error) {
 	if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
 		return nil, fmt.Errorf("store: invalid schema for table %q", s.Name)
 	}
-	if err := db.appendLog(encodeCreateTablePayload(s)); err != nil {
-		return nil, err
+	payload := encodeCreateTablePayload(s)
+	shards := make([]*tableShard, len(db.shards))
+	for i, sh := range db.shards {
+		if err := sh.appendLog(payload); err != nil {
+			// Earlier shards logged the create; the next open's
+			// buildRouters repairs any shard this loop did not reach.
+			return nil, err
+		}
+		shards[i] = sh.newTableShard(s)
 	}
-	t := db.newTable(s)
+	t := &Table{schema: s, shards: shards}
+	db.tables[s.Name] = t
 	return t, nil
 }
 
@@ -106,29 +387,12 @@ func encodeCreateTablePayload(s Schema) []byte {
 	return payload
 }
 
-// appendLog appends and flushes one record under logMu; a nil log
-// (in-memory DB) is a no-op.
-func (db *DB) appendLog(payload []byte) error {
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	if db.log == nil {
-		return nil
-	}
-	if err := db.log.append(payload); err != nil {
-		return err
-	}
-	return db.log.flush()
-}
-
-func (db *DB) newTable(s Schema) *Table {
-	t := &Table{
-		schema:    s,
-		db:        db,
-		primary:   newBtree(),
-		secondary: make(map[string]*btree),
-	}
-	db.tables[s.Name] = t
-	return t
+// encodeCreateIndexPayload frames an opCreateIndex payload; CreateIndex
+// and Compact both go through it.
+func encodeCreateIndexPayload(table, col string) []byte {
+	payload := []byte{opCreateIndex}
+	payload = appendString(payload, table)
+	return appendString(payload, col)
 }
 
 // Table returns the named table, or an error if it does not exist.
@@ -154,162 +418,6 @@ func (db *DB) TableNames() []string {
 	return names
 }
 
-// logInsert appends an insert record for the table.
-func (db *DB) logInsert(table string, row Row) error {
-	payload := []byte{opInsert}
-	payload = appendString(payload, table)
-	payload = encodeRow(payload, row)
-	return db.appendLog(payload)
-}
-
-// logInsertBatch appends one WAL record covering the whole row batch.
-func (db *DB) logInsertBatch(table string, rows []Row) error {
-	return db.appendLog(encodeBatchPayload(table, rows))
-}
-
-// logDelete appends a delete record for the table.
-func (db *DB) logDelete(table string, pk Value) error {
-	payload := []byte{opDelete}
-	payload = appendString(payload, table)
-	payload = encodeRow(payload, Row{pk})
-	return db.appendLog(payload)
-}
-
-// logCreateIndex appends a create-index record for the table, making the
-// secondary index durable across reopen.
-func (db *DB) logCreateIndex(table, col string) error {
-	return db.appendLog(encodeCreateIndexPayload(table, col))
-}
-
-// encodeCreateIndexPayload frames an opCreateIndex payload; CreateIndex
-// and Compact both go through it.
-func encodeCreateIndexPayload(table, col string) []byte {
-	payload := []byte{opCreateIndex}
-	payload = appendString(payload, table)
-	return appendString(payload, col)
-}
-
-// applyLogRecord replays one WAL payload into the in-memory state. Any
-// error it returns is treated by Open as a corrupt tail: replay stops and
-// the log is truncated at the last record that applied cleanly, so a
-// mangled-but-CRC-valid record can never panic or half-apply. Batch
-// records are decoded and validated in full before any row is applied,
-// keeping replay all-or-nothing per record.
-func (db *DB) applyLogRecord(payload []byte) error {
-	if len(payload) == 0 {
-		return ErrCorrupt
-	}
-	op := payload[0]
-	rest := payload[1:]
-	name, rest, err := readString(rest)
-	if err != nil {
-		return err
-	}
-	switch op {
-	case opCreateTable:
-		if len(rest) < 2 {
-			return ErrCorrupt
-		}
-		ncols, primary := int(rest[0]), int(rest[1])
-		rest = rest[2:]
-		s := Schema{Name: name, Primary: primary}
-		for i := 0; i < ncols; i++ {
-			var cname string
-			cname, rest, err = readString(rest)
-			if err != nil {
-				return err
-			}
-			if len(rest) < 1 {
-				return ErrCorrupt
-			}
-			s.Columns = append(s.Columns, Column{Name: cname, Type: ColType(rest[0])})
-			rest = rest[1:]
-		}
-		if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
-			return ErrCorrupt
-		}
-		for _, c := range s.Columns {
-			if c.Type < TInt || c.Type > TBool {
-				return ErrCorrupt
-			}
-		}
-		if _, ok := db.tables[name]; !ok {
-			db.newTable(s)
-		}
-	case opInsert:
-		t, ok := db.tables[name]
-		if !ok {
-			return fmt.Errorf("store: replay insert into unknown table %q", name)
-		}
-		row, err := decodeRow(rest, len(t.schema.Columns))
-		if err != nil {
-			return err
-		}
-		if err := t.schema.validate(row); err != nil {
-			return err
-		}
-		t.replayInsert(row)
-	case opInsertBatch:
-		t, ok := db.tables[name]
-		if !ok {
-			return fmt.Errorf("store: replay batch insert into unknown table %q", name)
-		}
-		count, k := binary.Uvarint(rest)
-		// Every encoded value is at least two bytes (type byte +
-		// payload), so a valid record cannot claim more rows than
-		// len(rest)/(2*ncols); a larger count is corruption, and the
-		// bound keeps a crafted count from pre-allocating gigabytes.
-		maxRows := uint64(len(rest)) / uint64(2*len(t.schema.Columns))
-		if k <= 0 || count > maxRows {
-			return ErrCorrupt
-		}
-		rest = rest[k:]
-		rows := make([]Row, 0, count)
-		for i := uint64(0); i < count; i++ {
-			var row Row
-			row, rest, err = decodeValues(rest, len(t.schema.Columns))
-			if err != nil {
-				return err
-			}
-			if err := t.schema.validate(row); err != nil {
-				return err
-			}
-			rows = append(rows, row)
-		}
-		if len(rest) != 0 {
-			return ErrCorrupt
-		}
-		for _, row := range rows {
-			t.replayInsert(row)
-		}
-	case opDelete:
-		t, ok := db.tables[name]
-		if !ok {
-			return fmt.Errorf("store: replay delete from unknown table %q", name)
-		}
-		keyRow, err := decodeRow(rest, 1)
-		if err != nil {
-			return err
-		}
-		key := encodeKey(keyRow[0])
-		if v, ok := t.primary.Get(key); ok {
-			t.applyDelete(key, v.(Row))
-		}
-	case opCreateIndex:
-		t, ok := db.tables[name]
-		if !ok {
-			return fmt.Errorf("store: replay create-index on unknown table %q", name)
-		}
-		col, rest, err := readString(rest)
-		if err != nil {
-			return err
-		}
-		if len(rest) != 0 || t.schema.colIndex(col) < 0 {
-			return ErrCorrupt
-		}
-		t.createIndexLocked(col)
-	default:
-		return ErrCorrupt
-	}
-	return nil
-}
+// sortKeys sorts byte-encoded keys; Go string order is byte order, so
+// this matches bytes.Compare on the underlying encodings.
+func sortKeys(ks []string) { sort.Strings(ks) }

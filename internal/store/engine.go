@@ -1,0 +1,35 @@
+package store
+
+// Engine is the storage-engine abstraction the layers above the store
+// program against: a durable (or in-memory) set of tables with
+// transactional secondary indexes, compaction and crash recovery. *DB
+// is the canonical implementation — a hash-partitioned set of Shards,
+// of which the pre-shard single-WAL database is the one-shard special
+// case. Callers that only need an Engine (core.PersistAll, the
+// warehouse facade, the CLIs) stay agnostic of the shard count and of
+// any future engine (e.g. a remote or multi-node store).
+type Engine interface {
+	// CreateTable creates a table with the given schema on every
+	// shard; creating an existing table with an identical schema is a
+	// no-op.
+	CreateTable(s Schema) (*Table, error)
+	// Table returns the named table, or an error if it does not exist.
+	Table(name string) (*Table, error)
+	// TableNames lists tables in sorted order.
+	TableNames() []string
+	// Shards returns the engine's partition count (1 for unsharded).
+	Shards() int
+	// Sync flushes buffered log records to stable storage.
+	Sync() error
+	// Compact rewrites the write-ahead log(s) down to the live state.
+	Compact() error
+	// LogSize returns the total bytes of write-ahead log.
+	LogSize() int64
+	// RecoveredWithLoss reports whether opening truncated a corrupt
+	// WAL tail on any shard.
+	RecoveredWithLoss() bool
+	// Close flushes and closes the engine.
+	Close() error
+}
+
+var _ Engine = (*DB)(nil)

@@ -35,6 +35,27 @@ func TestGenSeedCorpora(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	shardWAL := validShardWALBytes(t, 1)
+	shardDir := filepath.Join("testdata", "fuzz", "FuzzShardWALReplay")
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	shardTorn := shardWAL[:len(shardWAL)-3]
+	shardFlip := append([]byte(nil), shardWAL...)
+	shardFlip[len(shardFlip)/2] ^= 0xff
+	shardSeeds := map[string][]byte{
+		"valid-shard-log": shardWAL,
+		"torn-tail":       shardTorn,
+		"bitflip":         shardFlip,
+		"empty":           {},
+		"junk-frame":      {0, 0, 0, 1, 0, 0, 0, 0, 42},
+	}
+	for name, data := range shardSeeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(shardDir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	codecSeeds := map[string]struct {
 		data []byte
 		n    int

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"sync"
 )
 
 // ErrBadQuery reports a malformed predicate (unknown operator).
@@ -12,6 +13,8 @@ var ErrBadQuery = errors.New("store: malformed query predicate")
 // secondary-index access path when one applies and falling back to a
 // primary scan otherwise. It is the read half of the warehouse the paper
 // motivates: extraction fills the table, Query serves the questions.
+// On a partitioned table the same plan runs on every shard concurrently
+// and the per-shard results merge into one deterministic order.
 
 // Op is a predicate comparison operator.
 type Op uint8
@@ -66,13 +69,16 @@ type Query struct {
 
 // QueryStats reports how a query executed, so callers (and tests) can
 // verify the planner's choice: UsedIndex with FullScan == false means no
-// row outside the chosen index entries was touched.
+// row outside the chosen index entries was touched. For a fan-out query
+// the per-shard stats are summed (probes, rows examined) and Shards
+// counts the partitions examined.
 type QueryStats struct {
 	UsedIndex    bool   // candidates came from a secondary index
 	IndexCol     string // the index column, when UsedIndex
 	IndexProbes  int    // index entries (distinct values) visited
 	RowsExamined int    // candidate rows fetched and tested
 	FullScan     bool   // fell back to scanning the primary index
+	Shards       int    // shards examined (1 on a single-shard engine)
 }
 
 // Plan renders the access path for logs ("index(attribute)" or "scan").
@@ -90,9 +96,13 @@ func (s QueryStats) Plan() string {
 // Planning: an equality predicate on an indexed column is preferred (one
 // B-tree probe); otherwise the range predicates on an indexed column are
 // combined into one bounded index walk; otherwise the primary index is
-// scanned. All remaining predicates filter the candidate rows.
+// scanned. All remaining predicates filter the candidate rows. Every
+// shard holds the same secondary indexes, so all shards pick the same
+// plan; the fan-out runs them concurrently and merges the sorted
+// per-shard results (each shard honors Limit, so the merge sees at most
+// shards×Limit rows before truncating).
 //
-// Queries run entirely under the table's read lock, so any number can
+// Queries run entirely under the shards' read locks, so any number can
 // overlap each other and a live ingest.
 func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 	cis := make([]int, len(q.Preds))
@@ -110,8 +120,55 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 		cis[i] = ci
 	}
 
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	if len(t.shards) == 1 {
+		rows, stats := t.shards[0].query(q, cis)
+		stats.Shards = 1
+		return rows, stats, nil
+	}
+
+	// Fan out: one goroutine per shard, identical plan everywhere.
+	parts := make([][]Row, len(t.shards))
+	statss := make([]QueryStats, len(t.shards))
+	var wg sync.WaitGroup
+	for i, ts := range t.shards {
+		wg.Add(1)
+		go func(i int, ts *tableShard) {
+			defer wg.Done()
+			parts[i], statss[i] = ts.query(q, cis)
+		}(i, ts)
+	}
+	wg.Wait()
+
+	var stats QueryStats
+	for _, st := range statss {
+		stats.UsedIndex = stats.UsedIndex || st.UsedIndex
+		stats.FullScan = stats.FullScan || st.FullScan
+		if stats.IndexCol == "" {
+			stats.IndexCol = st.IndexCol
+		}
+		stats.IndexProbes += st.IndexProbes
+		stats.RowsExamined += st.RowsExamined
+	}
+	stats.Shards = len(t.shards)
+	// Each part is already in the plan's order; merge restores the
+	// global single-shard order: (indexed value, primary key) on the
+	// index path, primary key alone on the scan path.
+	less := t.lessByPK()
+	if stats.UsedIndex {
+		less = t.lessByColPK(t.schema.colIndex(stats.IndexCol))
+	}
+	out := kwayMerge(parts, less)
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, stats, nil
+}
+
+// query runs one shard's slice of the plan. cis are the pre-resolved
+// column indexes of q.Preds (validated by the router).
+func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
 
 	var stats QueryStats
 	var out []Row
@@ -136,7 +193,7 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 		if p.Op != OpEq {
 			continue
 		}
-		idx, ok := t.secondary[p.Col]
+		idx, ok := ts.secondary[p.Col]
 		if !ok {
 			continue
 		}
@@ -154,14 +211,14 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 				}
 			}
 		}
-		return out, stats, nil
+		return out, stats
 	}
 
 	// 2. Range predicates on one indexed column: a bounded index walk.
 	// All range predicates on the chosen column tighten the bounds, so
 	// none of them needs re-checking per row.
-	if col, lo, hi, ok := t.rangeBounds(q.Preds); ok {
-		idx := t.secondary[col]
+	if col, lo, hi, ok := ts.rangeBounds(q.Preds); ok {
+		idx := ts.secondary[col]
 		stats.UsedIndex = true
 		stats.IndexCol = col
 		idx.AscendRange(lo, hi, func(_ []byte, v interface{}) bool {
@@ -177,12 +234,12 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 			}
 			return true
 		})
-		return out, stats, nil
+		return out, stats
 	}
 
 	// 3. Fallback: primary scan.
 	stats.FullScan = true
-	t.primary.Ascend(func(_ []byte, val interface{}) bool {
+	ts.primary.Ascend(func(_ []byte, val interface{}) bool {
 		row := val.(Row)
 		stats.RowsExamined++
 		if filter(row, -1) {
@@ -193,19 +250,19 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 		}
 		return true
 	})
-	return out, stats, nil
+	return out, stats
 }
 
 // rangeBounds picks the first indexed column that carries a range
 // predicate and folds every range predicate on it into [lo, hi) key
 // bounds. Exclusive bounds use the key-successor trick: appending a zero
 // byte to an encoded key yields the smallest strictly greater key.
-func (t *Table) rangeBounds(preds []Pred) (col string, lo, hi []byte, ok bool) {
+func (ts *tableShard) rangeBounds(preds []Pred) (col string, lo, hi []byte, ok bool) {
 	for _, p := range preds {
 		if p.Op == OpEq {
 			continue
 		}
-		if _, indexed := t.secondary[p.Col]; !indexed || (ok && p.Col != col) {
+		if _, indexed := ts.secondary[p.Col]; !indexed || (ok && p.Col != col) {
 			continue
 		}
 		col, ok = p.Col, true

@@ -278,23 +278,31 @@ func TestIndexSurvivesCompact(t *testing.T) {
 }
 
 // checkIndexConsistent asserts every secondary index holds exactly the
-// table's rows: the crash invariant "index == table contents".
+// table's rows on every shard: the crash invariant "index == table
+// contents", which sharding makes per-shard.
 func checkIndexConsistent(t *testing.T, tbl *Table) {
 	t.Helper()
-	tbl.mu.RLock()
-	defer tbl.mu.RUnlock()
-	for col, idx := range tbl.secondary {
-		ci := tbl.schema.colIndex(col)
+	for _, ts := range tbl.shards {
+		checkShardIndexConsistent(t, ts)
+	}
+}
+
+func checkShardIndexConsistent(t *testing.T, ts *tableShard) {
+	t.Helper()
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	for col, idx := range ts.secondary {
+		ci := ts.schema.colIndex(col)
 		// Every table row appears in the index under its column value.
-		tbl.primary.Ascend(func(pk []byte, val interface{}) bool {
+		ts.primary.Ascend(func(pk []byte, val interface{}) bool {
 			row := val.(Row)
 			v, ok := idx.Get(encodeKey(row[ci]))
 			if !ok {
-				t.Errorf("index %s missing value %v", col, row[ci])
+				t.Errorf("shard %d: index %s missing value %v", ts.shard.id, col, row[ci])
 				return true
 			}
 			if _, found := v.(*postingList).find(string(pk)); !found {
-				t.Errorf("index %s missing row pk %v", col, row[0])
+				t.Errorf("shard %d: index %s missing row pk %v", ts.shard.id, col, row[0])
 			}
 			return true
 		})
@@ -304,17 +312,17 @@ func checkIndexConsistent(t *testing.T, tbl *Table) {
 			pl := v.(*postingList)
 			indexed += len(pl.entries)
 			for _, e := range pl.entries {
-				got, ok := tbl.primary.Get([]byte(e.pk))
+				got, ok := ts.primary.Get([]byte(e.pk))
 				if !ok {
-					t.Errorf("index %s holds pk absent from table: row %v", col, e.row)
+					t.Errorf("shard %d: index %s holds pk absent from table: row %v", ts.shard.id, col, e.row)
 				} else if !rowsEqual(got.(Row), e.row) {
-					t.Errorf("index %s holds stale row for pk %v", col, e.row[0])
+					t.Errorf("shard %d: index %s holds stale row for pk %v", ts.shard.id, col, e.row[0])
 				}
 			}
 			return true
 		})
-		if indexed != tbl.primary.Len() {
-			t.Errorf("index %s holds %d rows, table has %d", col, indexed, tbl.primary.Len())
+		if indexed != ts.primary.Len() {
+			t.Errorf("shard %d: index %s holds %d rows, table has %d", ts.shard.id, col, indexed, ts.primary.Len())
 		}
 	}
 }

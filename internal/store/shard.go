@@ -1,0 +1,287 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Shard is one partition of the database: its own write-ahead log file,
+// its own log mutex, and its own slice of every table's state (B-tree
+// primary index, secondary indexes, row data). Shards share nothing, so
+// writers on different shards append, flush and lock independently —
+// the decomposition that lets ingest and queries scale with cores.
+//
+// Rows are assigned to shards by a stable hash of the encoded primary
+// key (see shardIndex), so a row's home shard never changes across
+// reopens and a primary key is globally unique even though each shard
+// checks uniqueness only locally.
+type Shard struct {
+	id      int
+	logMu   sync.Mutex // serializes WAL appends on this shard
+	log     *wal       // nil = in-memory shard
+	failed  error      // a failed compaction swap left the shard logless
+	path    string
+	dropped int // WAL records dropped during this shard's recovery
+	tables  map[string]*tableShard
+}
+
+// openShard opens (creating if necessary) one shard's WAL and replays
+// it into fresh table state. On replay failure the file handle is
+// closed before returning, so an engine that fails mid-open leaks no
+// descriptors.
+func openShard(id int, path string) (*Shard, error) {
+	l, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shard{id: id, log: l, path: path, tables: make(map[string]*tableShard)}
+	dropped, err := l.replay(sh.applyLogRecord)
+	if err != nil {
+		l.close()
+		return nil, err
+	}
+	sh.dropped = dropped
+	return sh, nil
+}
+
+// memShard returns an in-memory shard with no durable log.
+func memShard(id int) *Shard {
+	return &Shard{id: id, tables: make(map[string]*tableShard)}
+}
+
+// close flushes and closes the shard's log. Safe to call twice.
+func (sh *Shard) close() error {
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	if sh.log == nil {
+		return nil
+	}
+	err := sh.log.close()
+	sh.log = nil
+	return err
+}
+
+// sync flushes buffered log records to stable storage.
+func (sh *Shard) sync() error {
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	if sh.log == nil {
+		return nil
+	}
+	return sh.log.sync()
+}
+
+// logSize returns the shard WAL's current size in bytes.
+func (sh *Shard) logSize() int64 {
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	if sh.log == nil {
+		return 0
+	}
+	return sh.log.len
+}
+
+// appendLog appends and flushes one record under logMu; a nil log
+// (in-memory shard) is a no-op. A shard whose durable log was lost to a
+// failed compaction swap refuses writes instead of silently dropping
+// durability.
+func (sh *Shard) appendLog(payload []byte) error {
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	if sh.failed != nil {
+		return sh.failed
+	}
+	if sh.log == nil {
+		return nil
+	}
+	if err := sh.log.append(payload); err != nil {
+		return err
+	}
+	return sh.log.flush()
+}
+
+// newTableShard creates (or returns the existing) state for one table on
+// this shard.
+func (sh *Shard) newTableShard(s Schema) *tableShard {
+	if ts, ok := sh.tables[s.Name]; ok {
+		return ts
+	}
+	ts := &tableShard{
+		schema:    s,
+		shard:     sh,
+		primary:   newBtree(),
+		secondary: make(map[string]*btree),
+	}
+	sh.tables[s.Name] = ts
+	return ts
+}
+
+// logInsert appends an insert record for the table.
+func (sh *Shard) logInsert(table string, row Row) error {
+	payload := []byte{opInsert}
+	payload = appendString(payload, table)
+	payload = encodeRow(payload, row)
+	return sh.appendLog(payload)
+}
+
+// logInsertBatch appends one WAL record covering the whole row batch.
+func (sh *Shard) logInsertBatch(table string, rows []Row) error {
+	return sh.appendLog(encodeBatchPayload(table, rows))
+}
+
+// logDelete appends a delete record for the table.
+func (sh *Shard) logDelete(table string, pk Value) error {
+	payload := []byte{opDelete}
+	payload = appendString(payload, table)
+	payload = encodeRow(payload, Row{pk})
+	return sh.appendLog(payload)
+}
+
+// logCreateIndex appends a create-index record for the table, making the
+// secondary index durable across reopen.
+func (sh *Shard) logCreateIndex(table, col string) error {
+	return sh.appendLog(encodeCreateIndexPayload(table, col))
+}
+
+// applyLogRecord replays one WAL payload into this shard's in-memory
+// state. Any error it returns is treated by replay as a corrupt tail:
+// replay stops and the log is truncated at the last record that applied
+// cleanly, so a mangled-but-CRC-valid record can never panic or
+// half-apply. Batch records are decoded and validated in full before any
+// row is applied, keeping replay all-or-nothing per record.
+func (sh *Shard) applyLogRecord(payload []byte) error {
+	if len(payload) == 0 {
+		return ErrCorrupt
+	}
+	op := payload[0]
+	rest := payload[1:]
+	name, rest, err := readString(rest)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opCreateTable:
+		if len(rest) < 2 {
+			return ErrCorrupt
+		}
+		ncols, primary := int(rest[0]), int(rest[1])
+		rest = rest[2:]
+		s := Schema{Name: name, Primary: primary}
+		for i := 0; i < ncols; i++ {
+			var cname string
+			cname, rest, err = readString(rest)
+			if err != nil {
+				return err
+			}
+			if len(rest) < 1 {
+				return ErrCorrupt
+			}
+			s.Columns = append(s.Columns, Column{Name: cname, Type: ColType(rest[0])})
+			rest = rest[1:]
+		}
+		if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
+			return ErrCorrupt
+		}
+		for _, c := range s.Columns {
+			if c.Type < TInt || c.Type > TBool {
+				return ErrCorrupt
+			}
+		}
+		sh.newTableShard(s)
+	case opInsert:
+		ts, ok := sh.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay insert into unknown table %q", name)
+		}
+		row, err := decodeRow(rest, len(ts.schema.Columns))
+		if err != nil {
+			return err
+		}
+		if err := ts.schema.validate(row); err != nil {
+			return err
+		}
+		ts.replayInsert(row)
+	case opInsertBatch:
+		ts, ok := sh.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay batch insert into unknown table %q", name)
+		}
+		count, k := binary.Uvarint(rest)
+		// Every encoded value is at least two bytes (type byte +
+		// payload), so a valid record cannot claim more rows than
+		// len(rest)/(2*ncols); a larger count is corruption, and the
+		// bound keeps a crafted count from pre-allocating gigabytes.
+		maxRows := uint64(len(rest)) / uint64(2*len(ts.schema.Columns))
+		if k <= 0 || count > maxRows {
+			return ErrCorrupt
+		}
+		rest = rest[k:]
+		rows := make([]Row, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var row Row
+			row, rest, err = decodeValues(rest, len(ts.schema.Columns))
+			if err != nil {
+				return err
+			}
+			if err := ts.schema.validate(row); err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		if len(rest) != 0 {
+			return ErrCorrupt
+		}
+		for _, row := range rows {
+			ts.replayInsert(row)
+		}
+	case opDelete:
+		ts, ok := sh.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay delete from unknown table %q", name)
+		}
+		keyRow, err := decodeRow(rest, 1)
+		if err != nil {
+			return err
+		}
+		key := encodeKey(keyRow[0])
+		if v, ok := ts.primary.Get(key); ok {
+			ts.applyDelete(key, v.(Row))
+		}
+	case opCreateIndex:
+		ts, ok := sh.tables[name]
+		if !ok {
+			return fmt.Errorf("store: replay create-index on unknown table %q", name)
+		}
+		col, rest, err := readString(rest)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 || ts.schema.colIndex(col) < 0 {
+			return ErrCorrupt
+		}
+		ts.createIndexLocked(col)
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// shardIndex maps an encoded primary key to its home shard: FNV-1a over
+// the key bytes, modulo the shard count. The hash depends only on the
+// key encoding, which is stable across reopens, so the routing never
+// changes for a given layout. A single-shard engine skips the hash.
+// Inlined (rather than hash/fnv) to keep the per-row routing
+// allocation-free.
+func shardIndex(key []byte, n int) int {
+	if n == 1 {
+		return 0
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}

@@ -43,17 +43,33 @@ func (s *Schema) validate(row Row) error {
 	return nil
 }
 
-// Table is an in-memory table backed by the DB's write-ahead log.
+// Table is a hash-partitioned table: rows live on the shard selected by
+// their encoded primary key, each partition backed by that shard's
+// write-ahead log and guarded by its own RWMutex. Point operations
+// (Insert, Get, Delete, Update, Upsert) route to one shard; batch
+// inserts split into per-shard sub-batches logged and applied in
+// parallel; reads that span the table (Query, Lookup, Scan, …) fan out
+// across shards and merge into the same deterministic order a
+// single-shard table produces.
 //
-// Tables are safe for concurrent use: mutations hold the write lock,
-// reads (Get, Lookup, Scan, Query, …) the read lock, so any number of
-// readers overlap each other and serialize only against writers.
+// Tables are safe for concurrent use: mutations hold their shard's
+// write lock, reads its read lock, so readers overlap each other and
+// writers on other shards, and serialize only against writers of the
+// same shard.
 type Table struct {
+	schema Schema
+	shards []*tableShard
+}
+
+// tableShard is one shard's slice of a table: the rows routed to it,
+// their B-tree primary index, and the shard-local halves of every
+// secondary index.
+type tableShard struct {
 	schema    Schema
-	db        *DB
+	shard     *Shard
 	mu        sync.RWMutex
 	primary   *btree            // pk key bytes → Row
-	secondary map[string]*btree // column name → key bytes → map[string]Row (pk-encoded → row)
+	secondary map[string]*btree // column name → key bytes → postingList
 }
 
 // Errors returned by table operations.
@@ -67,65 +83,152 @@ var (
 // Schema returns a copy of the table's schema.
 func (t *Table) Schema() Schema { return t.schema }
 
-// Len returns the number of rows.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.primary.Len()
+// shardFor routes an encoded primary key to its home shard.
+func (t *Table) shardFor(key []byte) *tableShard {
+	return t.shards[shardIndex(key, len(t.shards))]
 }
 
-// Insert adds a row. The primary key must be unique.
+// MaxPK returns the largest primary-key value in the table and whether
+// the table is non-empty. Id-allocating writers (core.PersistAll) seed
+// from it rather than from Len(): after a crash truncates one shard's
+// WAL, surviving shards can hold keys far beyond the row count, and
+// Len()+1 would collide with them.
+func (t *Table) MaxPK() (Value, bool) {
+	var best Value
+	found := false
+	for _, ts := range t.shards {
+		ts.mu.RLock()
+		_, v, ok := ts.primary.Max()
+		ts.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		pk := v.(Row)[t.schema.Primary]
+		if !found || cmpValues(pk, best) > 0 {
+			best, found = pk, true
+		}
+	}
+	return best, found
+}
+
+// Len returns the number of rows across all shards.
+func (t *Table) Len() int {
+	n := 0
+	for _, ts := range t.shards {
+		ts.mu.RLock()
+		n += ts.primary.Len()
+		ts.mu.RUnlock()
+	}
+	return n
+}
+
+// Insert adds a row. The primary key must be unique (routing by key
+// hash makes the per-shard check global).
 func (t *Table) Insert(row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.insertLocked(row)
+	key := encodeKey(row[t.schema.Primary])
+	ts := t.shardFor(key)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.insertLocked(key, row)
 }
 
-func (t *Table) insertLocked(row Row) error {
-	key := encodeKey(row[t.schema.Primary])
-	if _, exists := t.primary.Get(key); exists {
-		return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
+func (ts *tableShard) insertLocked(key []byte, row Row) error {
+	if _, exists := ts.primary.Get(key); exists {
+		return fmt.Errorf("%w: %s", ErrDuplicate, row[ts.schema.Primary])
 	}
-	if err := t.db.logInsert(t.schema.Name, row); err != nil {
+	if err := ts.shard.logInsert(ts.schema.Name, row); err != nil {
 		return err
 	}
-	t.apply(key, row)
+	ts.apply(key, row)
 	return nil
 }
 
-// InsertBatch adds many rows with a single write-ahead-log record. The
-// whole batch is validated (schema and primary-key uniqueness, including
-// against other rows of the same batch) before anything is logged or
-// applied, so the batch is all-or-nothing: on error the table is
-// unchanged, and on crash recovery a torn batch record is dropped
-// atomically by the WAL's CRC framing.
+// InsertBatch adds many rows with one write-ahead-log record per
+// involved shard. The whole batch is validated (schema and primary-key
+// uniqueness, including against other rows of the same batch) under
+// every involved shard's lock before anything is logged or applied, so
+// a validation error leaves the table unchanged on every shard. The
+// per-shard sub-batches are then logged and applied in parallel; each
+// is atomic on its shard — framed as one CRC-covered record, so a
+// crash-torn sub-batch drops whole on that shard's recovery while
+// other shards keep theirs (an I/O error mid-flush can likewise leave
+// a sub-batch applied on one shard and not another).
 func (t *Table) InsertBatch(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	keys := make([][]byte, len(rows))
-	inBatch := make(map[string]bool, len(rows))
-	for i, row := range rows {
+	n := len(t.shards)
+	groups := make([][]Row, n)
+	keys := make([][][]byte, n)
+	for _, row := range rows {
 		if err := t.schema.validate(row); err != nil {
 			return err
 		}
 		key := encodeKey(row[t.schema.Primary])
-		if _, exists := t.primary.Get(key); exists || inBatch[string(key)] {
-			return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
-		}
-		inBatch[string(key)] = true
-		keys[i] = key
+		si := shardIndex(key, n)
+		groups[si] = append(groups[si], row)
+		keys[si] = append(keys[si], key)
 	}
-	if err := t.db.logInsertBatch(t.schema.Name, rows); err != nil {
+
+	// Phase 1: lock involved shards in id order (a fixed order keeps
+	// concurrent batches from deadlocking) and validate everything.
+	var locked []*tableShard
+	unlock := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].mu.Unlock()
+		}
+	}
+	for si, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		ts := t.shards[si]
+		ts.mu.Lock()
+		locked = append(locked, ts)
+		inBatch := make(map[string]bool, len(g))
+		for i, row := range g {
+			key := keys[si][i]
+			if _, exists := ts.primary.Get(key); exists || inBatch[string(key)] {
+				unlock()
+				return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
+			}
+			inBatch[string(key)] = true
+		}
+	}
+	defer unlock()
+
+	// Phase 2: log and apply per shard, in parallel when partitioned.
+	if n == 1 {
+		return t.shards[0].logApplyBatch(groups[0], keys[0])
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			errs[si] = t.shards[si].logApplyBatch(groups[si], keys[si])
+		}(si)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// logApplyBatch writes one batch record to the shard's WAL and applies
+// the rows. Callers hold the shard's write lock and have validated the
+// batch.
+func (ts *tableShard) logApplyBatch(rows []Row, keys [][]byte) error {
+	if err := ts.shard.logInsertBatch(ts.schema.Name, rows); err != nil {
 		return err
 	}
 	for i, row := range rows {
-		t.apply(keys[i], row)
+		ts.apply(keys[i], row)
 	}
 	return nil
 }
@@ -133,29 +236,31 @@ func (t *Table) InsertBatch(rows []Row) error {
 // replayInsert applies one row during WAL replay. A duplicate primary
 // key replaces the existing row (and its index postings) so that replay
 // of any log prefix leaves indexes exactly consistent with the table.
-func (t *Table) replayInsert(row Row) {
-	key := encodeKey(row[t.schema.Primary])
-	if old, ok := t.primary.Get(key); ok {
-		t.applyDelete(key, old.(Row))
+func (ts *tableShard) replayInsert(row Row) {
+	key := encodeKey(row[ts.schema.Primary])
+	if old, ok := ts.primary.Get(key); ok {
+		ts.applyDelete(key, old.(Row))
 	}
-	t.apply(key, row)
+	ts.apply(key, row)
 }
 
 // apply performs the in-memory insert (used by Insert and WAL replay).
-func (t *Table) apply(key []byte, row Row) {
-	t.primary.Put(key, row)
-	for col, idx := range t.secondary {
-		ci := t.schema.colIndex(col)
+func (ts *tableShard) apply(key []byte, row Row) {
+	ts.primary.Put(key, row)
+	for col, idx := range ts.secondary {
+		ci := ts.schema.colIndex(col)
 		sk := encodeKey(row[ci])
-		t.indexAdd(idx, sk, key, row)
+		indexAdd(idx, sk, key, row)
 	}
 }
 
 // Get returns the row with the given primary key.
 func (t *Table) Get(pk Value) (Row, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	v, ok := t.primary.Get(encodeKey(pk))
+	key := encodeKey(pk)
+	ts := t.shardFor(key)
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	v, ok := ts.primary.Get(key)
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -164,64 +269,77 @@ func (t *Table) Get(pk Value) (Row, error) {
 
 // Delete removes the row with the given primary key.
 func (t *Table) Delete(pk Value) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	key := encodeKey(pk)
-	v, ok := t.primary.Get(key)
+	ts := t.shardFor(key)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	v, ok := ts.primary.Get(key)
 	if !ok {
 		return ErrNotFound
 	}
-	if err := t.db.logDelete(t.schema.Name, pk); err != nil {
+	if err := ts.shard.logDelete(ts.schema.Name, pk); err != nil {
 		return err
 	}
-	t.applyDelete(key, v.(Row))
+	ts.applyDelete(key, v.(Row))
 	return nil
 }
 
-func (t *Table) applyDelete(key []byte, row Row) {
-	t.primary.Delete(key)
-	for col, idx := range t.secondary {
-		ci := t.schema.colIndex(col)
+func (ts *tableShard) applyDelete(key []byte, row Row) {
+	ts.primary.Delete(key)
+	for col, idx := range ts.secondary {
+		ci := ts.schema.colIndex(col)
 		sk := encodeKey(row[ci])
-		t.indexRemove(idx, sk, key)
+		indexRemove(idx, sk, key)
 	}
 }
 
-// CreateIndex builds a non-unique secondary index on the named column.
-// The index is durable: a WAL record re-creates it on replay, and Compact
-// carries it into the rewritten log, so once built it exists after every
-// reopen and is maintained transactionally by Insert/InsertBatch/Update/
-// Delete alongside the rows. Creating an existing index is a no-op.
+// CreateIndex builds a non-unique secondary index on the named column,
+// on every shard. The index is durable: each shard's WAL carries a
+// create-index record re-created on replay and through Compact, so once
+// built it exists after every reopen and is maintained transactionally
+// by Insert/InsertBatch/Update/Delete alongside the rows. Creating an
+// existing index is a no-op.
 func (t *Table) CreateIndex(col string) error {
 	if t.schema.colIndex(col) < 0 {
 		return fmt.Errorf("store: table %s has no column %s", t.schema.Name, col)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.secondary[col]; ok {
-		return nil
+	// Build the in-memory index on every shard even if logging fails
+	// partway: the fan-out planner and whole-table Lookup require the
+	// index inventory to be identical across shards. A shard whose
+	// create record could not be appended reports the error but still
+	// carries the index in memory; the durable inventory is repaired
+	// from the other shards' WALs at the next open (buildRouters).
+	var firstErr error
+	for _, ts := range t.shards {
+		ts.mu.Lock()
+		if _, ok := ts.secondary[col]; ok {
+			ts.mu.Unlock()
+			continue
+		}
+		if err := ts.shard.logCreateIndex(ts.schema.Name, col); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ts.createIndexLocked(col)
+		ts.mu.Unlock()
 	}
-	if err := t.db.logCreateIndex(t.schema.Name, col); err != nil {
-		return err
-	}
-	t.createIndexLocked(col)
-	return nil
+	return firstErr
 }
 
-// createIndexLocked builds the index from the current rows. Callers hold
-// the write lock (or are single-threaded WAL replay).
-func (t *Table) createIndexLocked(col string) {
-	if _, ok := t.secondary[col]; ok {
+// createIndexLocked builds the index from the shard's current rows.
+// Callers hold the shard's write lock (or are single-threaded WAL
+// replay).
+func (ts *tableShard) createIndexLocked(col string) {
+	if _, ok := ts.secondary[col]; ok {
 		return
 	}
 	idx := newBtree()
-	ci := t.schema.colIndex(col)
-	t.primary.Ascend(func(key []byte, val interface{}) bool {
+	ci := ts.schema.colIndex(col)
+	ts.primary.Ascend(func(key []byte, val interface{}) bool {
 		row := val.(Row)
-		t.indexAdd(idx, encodeKey(row[ci]), key, row)
+		indexAdd(idx, encodeKey(row[ci]), key, row)
 		return true
 	})
-	t.secondary[col] = idx
+	ts.secondary[col] = idx
 }
 
 // postingList is the value type of secondary index entries: the rows
@@ -250,7 +368,7 @@ func (pl *postingList) appendRows(out []Row) []Row {
 	return out
 }
 
-func (t *Table) indexAdd(idx *btree, sk, pk []byte, row Row) {
+func indexAdd(idx *btree, sk, pk []byte, row Row) {
 	v, ok := idx.Get(sk)
 	if !ok {
 		idx.Put(sk, &postingList{entries: []postingEntry{{pk: string(pk), row: row}}})
@@ -267,7 +385,7 @@ func (t *Table) indexAdd(idx *btree, sk, pk []byte, row Row) {
 	pl.entries[i] = postingEntry{pk: string(pk), row: row}
 }
 
-func (t *Table) indexRemove(idx *btree, sk, pk []byte) {
+func indexRemove(idx *btree, sk, pk []byte) {
 	if v, ok := idx.Get(sk); ok {
 		pl := v.(*postingList)
 		if i, found := pl.find(string(pk)); found {
@@ -281,11 +399,33 @@ func (t *Table) indexRemove(idx *btree, sk, pk []byte) {
 
 // Lookup returns all rows whose indexed column equals v in ascending
 // primary-key order, using the secondary index on col. The column must
-// have an index.
+// have an index. With multiple shards the per-shard posting lists are
+// fanned out and merged by primary key.
 func (t *Table) Lookup(col string, v Value) ([]Row, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.secondary[col]
+	if len(t.shards) == 1 {
+		return t.shards[0].lookup(col, v)
+	}
+	parts := make([][]Row, len(t.shards))
+	errs := make([]error, len(t.shards))
+	var wg sync.WaitGroup
+	for i, ts := range t.shards {
+		wg.Add(1)
+		go func(i int, ts *tableShard) {
+			defer wg.Done()
+			parts[i], errs[i] = ts.lookup(col, v)
+		}(i, ts)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return kwayMerge(parts, t.lessByPK()), nil
+}
+
+func (ts *tableShard) lookup(col string, v Value) ([]Row, error) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	idx, ok := ts.secondary[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoIndex, col)
 	}
@@ -297,25 +437,122 @@ func (t *Table) Lookup(col string, v Value) ([]Row, error) {
 	return pl.appendRows(make([]Row, 0, len(pl.entries))), nil
 }
 
-// Scan calls fn for every row in ascending primary-key order until fn
-// returns false. It is the linear-scan baseline for the index ablation.
-// fn runs under the table's read lock and must not mutate the table.
-func (t *Table) Scan(fn func(Row) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.primary.Ascend(func(_ []byte, val interface{}) bool {
-		return fn(val.(Row))
-	})
+// kwayMerge merges per-shard result slices that are each already
+// sorted by less into one sorted slice. Each output row costs at most
+// shards-1 comparisons and the merge allocates only the output, so the
+// fan-out read paths stay close to the single-shard cost.
+func kwayMerge(parts [][]Row, less func(a, b Row) bool) []Row {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Row, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if best < 0 || less(p[idx[i]], parts[best][idx[best]]) {
+				best = i
+			}
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }
 
-// ScanRange calls fn for rows with primary key in [lo, hi). fn runs under
-// the table's read lock and must not mutate the table.
+// lessByPK orders rows by primary-key value — identical to the B-trees'
+// encoded-key order, because encodeKey is order-preserving within a
+// type and a table's primary keys share the schema's type — without
+// encoding a key per comparison.
+func (t *Table) lessByPK() func(a, b Row) bool {
+	pk := t.schema.Primary
+	return func(a, b Row) bool { return cmpValues(a[pk], b[pk]) < 0 }
+}
+
+// lessByColPK orders rows by an indexed column's value, breaking ties
+// by primary key: the order an index walk produces.
+func (t *Table) lessByColPK(ci int) func(a, b Row) bool {
+	pk := t.schema.Primary
+	return func(a, b Row) bool {
+		if c := cmpValues(a[ci], b[ci]); c != 0 {
+			return c < 0
+		}
+		return cmpValues(a[pk], b[pk]) < 0
+	}
+}
+
+// Scan calls fn for every row in ascending primary-key order until fn
+// returns false. It is the linear-scan baseline for the index ablation.
+// On a single shard fn streams under the shard's read lock and must not
+// mutate the table; with multiple shards the per-shard row sets are
+// collected first and merged, so fn runs without any lock held.
+func (t *Table) Scan(fn func(Row) bool) {
+	if len(t.shards) == 1 {
+		ts := t.shards[0]
+		ts.mu.RLock()
+		defer ts.mu.RUnlock()
+		ts.primary.Ascend(func(_ []byte, val interface{}) bool {
+			return fn(val.(Row))
+		})
+		return
+	}
+	for _, row := range t.collectSorted(nil, nil) {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// ScanRange calls fn for rows with primary key in [lo, hi), in
+// ascending primary-key order; locking as in Scan.
 func (t *Table) ScanRange(lo, hi Value, fn func(Row) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.primary.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, val interface{}) bool {
-		return fn(val.(Row))
-	})
+	if len(t.shards) == 1 {
+		ts := t.shards[0]
+		ts.mu.RLock()
+		defer ts.mu.RUnlock()
+		ts.primary.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, val interface{}) bool {
+			return fn(val.(Row))
+		})
+		return
+	}
+	for _, row := range t.collectSorted(encodeKey(lo), encodeKey(hi)) {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// collectSorted gathers every shard's rows (bounded to [lo, hi) when
+// non-nil) in parallel and merges them into global primary-key order.
+func (t *Table) collectSorted(lo, hi []byte) []Row {
+	parts := make([][]Row, len(t.shards))
+	var wg sync.WaitGroup
+	for i, ts := range t.shards {
+		wg.Add(1)
+		go func(i int, ts *tableShard) {
+			defer wg.Done()
+			ts.mu.RLock()
+			defer ts.mu.RUnlock()
+			visit := func(_ []byte, val interface{}) bool {
+				parts[i] = append(parts[i], val.(Row))
+				return true
+			}
+			if lo == nil && hi == nil {
+				ts.primary.Ascend(visit)
+			} else {
+				ts.primary.AscendRange(lo, hi, visit)
+			}
+		}(i, ts)
+	}
+	wg.Wait()
+	return kwayMerge(parts, t.lessByPK())
 }
 
 // Select returns all rows matching a predicate, by full scan.
@@ -329,7 +566,3 @@ func (t *Table) Select(pred func(Row) bool) []Row {
 	})
 	return out
 }
-
-// sortKeys sorts byte-encoded keys; Go string order is byte order, so
-// this matches bytes.Compare on the underlying encodings.
-func sortKeys(ks []string) { sort.Strings(ks) }

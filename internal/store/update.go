@@ -1,37 +1,43 @@
 package store
 
-import "bytes"
+import (
+	"bytes"
+	"errors"
+	"sync"
+)
 
 // Update replaces the row with the given primary key. The new row must
 // carry the same primary key; secondary indexes are maintained. The
-// operation is logged as delete+insert, which replays correctly.
+// operation is logged as delete+insert on the row's home shard, which
+// replays correctly.
 func (t *Table) Update(pk Value, row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.updateLocked(pk, row)
+	key := encodeKey(pk)
+	ts := t.shardFor(key)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.updateLocked(key, pk, row)
 }
 
-func (t *Table) updateLocked(pk Value, row Row) error {
-	key := encodeKey(pk)
-	newKey := encodeKey(row[t.schema.Primary])
+func (ts *tableShard) updateLocked(key []byte, pk Value, row Row) error {
+	newKey := encodeKey(row[ts.schema.Primary])
 	if !bytes.Equal(key, newKey) {
 		return ErrPKChange
 	}
-	old, ok := t.primary.Get(key)
+	old, ok := ts.primary.Get(key)
 	if !ok {
 		return ErrNotFound
 	}
-	if err := t.db.logDelete(t.schema.Name, pk); err != nil {
+	if err := ts.shard.logDelete(ts.schema.Name, pk); err != nil {
 		return err
 	}
-	if err := t.db.logInsert(t.schema.Name, row); err != nil {
+	if err := ts.shard.logInsert(ts.schema.Name, row); err != nil {
 		return err
 	}
-	t.applyDelete(key, old.(Row))
-	t.apply(key, row)
+	ts.applyDelete(key, old.(Row))
+	ts.apply(key, row)
 	return nil
 }
 
@@ -41,22 +47,46 @@ func (t *Table) Upsert(row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	pk := row[t.schema.Primary]
-	if _, exists := t.primary.Get(encodeKey(pk)); exists {
-		return t.updateLocked(pk, row)
+	key := encodeKey(pk)
+	ts := t.shardFor(key)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, exists := ts.primary.Get(key); exists {
+		return ts.updateLocked(key, pk, row)
 	}
-	return t.insertLocked(row)
+	return ts.insertLocked(key, row)
 }
 
 // LookupRange returns rows whose indexed column value lies in [lo, hi),
 // in ascending (column value, primary key) order. The column must have a
-// secondary index.
+// secondary index. With multiple shards the per-shard walks fan out and
+// the sorted partial results merge.
 func (t *Table) LookupRange(col string, lo, hi Value) ([]Row, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.secondary[col]
+	if len(t.shards) == 1 {
+		return t.shards[0].lookupRange(col, lo, hi)
+	}
+	parts := make([][]Row, len(t.shards))
+	errs := make([]error, len(t.shards))
+	var wg sync.WaitGroup
+	for i, ts := range t.shards {
+		wg.Add(1)
+		go func(i int, ts *tableShard) {
+			defer wg.Done()
+			parts[i], errs[i] = ts.lookupRange(col, lo, hi)
+		}(i, ts)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return kwayMerge(parts, t.lessByColPK(t.schema.colIndex(col))), nil
+}
+
+func (ts *tableShard) lookupRange(col string, lo, hi Value) ([]Row, error) {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	idx, ok := ts.secondary[col]
 	if !ok {
 		return nil, ErrNoIndex
 	}
@@ -71,18 +101,27 @@ func (t *Table) LookupRange(col string, lo, hi Value) ([]Row, error) {
 // Stats summarizes a table for monitoring.
 type Stats struct {
 	Rows       int
+	Shards     int
 	Indexes    int
 	IndexNames []string
 }
 
-// Stats returns the table's row count and index inventory.
+// Stats returns the table's row count (summed over shards) and index
+// inventory (identical on every shard by construction).
 func (t *Table) Stats() Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	s := Stats{Rows: t.primary.Len(), Indexes: len(t.secondary)}
-	for name := range t.secondary {
+	s := Stats{Shards: len(t.shards)}
+	for _, ts := range t.shards {
+		ts.mu.RLock()
+		s.Rows += ts.primary.Len()
+		ts.mu.RUnlock()
+	}
+	ts := t.shards[0]
+	ts.mu.RLock()
+	s.Indexes = len(ts.secondary)
+	for name := range ts.secondary {
 		s.IndexNames = append(s.IndexNames, name)
 	}
+	ts.mu.RUnlock()
 	sortKeys(s.IndexNames)
 	return s
 }
