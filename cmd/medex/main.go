@@ -5,7 +5,7 @@
 // Usage:
 //
 //	medex [extract] -corpus corpus/ [-db extracted.db] [-shards 4]
-//	      [-strategy link-grammar] [-synonyms] [-train-smoking]
+//	      [-compact] [-strategy link-grammar] [-synonyms] [-train-smoking]
 //	medex query -db extracted.db -attr pulse -min 100
 //	medex query -db extracted.db -attr smoking -value current
 //	medex query -db extracted.db -patient 12
@@ -67,6 +67,7 @@ func runExtract(args []string) error {
 	verbose := fs.Bool("v", false, "print every extracted attribute")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "store shard count (1 = single-file layout, compatible with old databases)")
+	compact := fs.Bool("compact", false, "compact the database after ingest: fold rows into immutable sorted segment files and shrink the WAL")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("extract: unexpected argument %q", fs.Arg(0))
@@ -141,9 +142,20 @@ func runExtract(args []string) error {
 	if err := flush(); err != nil {
 		return err
 	}
+	if *compact {
+		if *dbPath == "" {
+			return fmt.Errorf("extract: -compact needs a file-backed database (-db)")
+		}
+		if err := db.Compact(); err != nil {
+			return fmt.Errorf("compacting: %v", err)
+		}
+	}
 	fmt.Printf("processed %d records, persisted %d attribute rows", processed, rows)
 	if *dbPath != "" {
 		fmt.Printf(" to %s", *dbPath)
+		if *compact {
+			fmt.Printf(" (compacted to segments)")
+		}
 	}
 	fmt.Println()
 	return nil

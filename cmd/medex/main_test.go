@@ -165,6 +165,56 @@ func TestQueryCommandSharded(t *testing.T) {
 	}
 }
 
+// TestQueryCommandCompacted pins the segment read path end to end: the
+// same questions against a compacted store (rows folded into immutable
+// segment files) return the same answers, and a patient chart — which
+// scans by primary-key range — reports the segment counters in its plan
+// line.
+func TestQueryCommandCompacted(t *testing.T) {
+	path := shardedQueryTestDB(t, 2)
+	db, err := store.OpenSharded(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runQuery([]string{"-db", path, "-attr", "smoking", "-value", "current"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "patients (4): 2 4 6 8") {
+		t.Errorf("compacted equality answer differs from single-shard:\n%s", got)
+	}
+	if !strings.Contains(got, "1/1 conditions indexed") || !strings.Contains(got, "0 full scans") {
+		t.Errorf("compacted equality question did not use the index:\n%s", got)
+	}
+	if !strings.Contains(got, "segment(s)") {
+		t.Errorf("plan does not report segment counters after compaction:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-attr", "pulse", "-min", "95"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "patients (4): 6 7 8 9") {
+		t.Errorf("compacted range answer differs from single-shard:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runQuery([]string{"-db", path, "-patient", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "patient 4 (2 attribute rows)") {
+		t.Errorf("compacted patient chart wrong:\n%s", got)
+	}
+}
+
 func TestPrintExtractionDoesNotPanic(t *testing.T) {
 	printExtraction(core.Extraction{
 		Patient: 1,

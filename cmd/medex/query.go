@@ -116,8 +116,13 @@ func runQuery(args []string, out io.Writer) error {
 }
 
 // planLine summarizes how the question executed, including the fan-out
-// width so a sharded store is visible from the CLI.
+// width so a sharded store is visible from the CLI, and the segment
+// read-path counters so a compacted store is too.
 func planLine(s core.QueryStats) string {
-	return fmt.Sprintf("plan: %d/%d conditions indexed, %d index probes, %d rows examined, %d full scans, %d shard(s)",
+	line := fmt.Sprintf("plan: %d/%d conditions indexed, %d index probes, %d rows examined, %d full scans, %d shard(s)",
 		s.IndexedConds, s.Conds, s.IndexProbes, s.RowsExamined, s.FullScans, s.Shards)
+	if s.Segments > 0 {
+		line += fmt.Sprintf(", %d segment(s), %d blocks pruned", s.Segments, s.BlocksPruned)
+	}
+	return line
 }

@@ -99,13 +99,15 @@ func main() {
 		fmt.Printf("\npatient %d chart (%d attributes)\n", patients[0], len(chart))
 	}
 
-	// Maintenance: compact the WAL; indexes survive the rewrite.
+	// Maintenance: compact — rows fold into immutable sorted segment
+	// files, the WAL shrinks to schema/index records, indexes survive.
 	before := db.LogSize()
 	if err := db.Compact(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncompacted WAL: %d → %d bytes (indexes preserved: %v)\n",
-		before, db.LogSize(), w.Table().Stats().IndexNames)
+	st := w.Table().Stats()
+	fmt.Printf("\ncompacted WAL: %d → %d bytes (%d segment file(s); indexes preserved: %v)\n",
+		before, db.LogSize(), st.Segments, st.IndexNames)
 }
 
 func ptr(f float64) *float64 { return &f }

@@ -148,6 +148,8 @@ type QueryStats struct {
 	RowsExamined int
 	FullScans    int
 	Shards       int // partitions each condition fanned out across
+	Segments     int // segment files consulted (scans and index-entry resolves)
+	BlocksPruned int // segment blocks skipped via zone maps
 }
 
 func (s *QueryStats) add(st store.QueryStats) {
@@ -163,6 +165,8 @@ func (s *QueryStats) add(st store.QueryStats) {
 	if st.Shards > s.Shards {
 		s.Shards = st.Shards
 	}
+	s.Segments += st.Segments
+	s.BlocksPruned += st.BlocksPruned
 }
 
 // Ask answers a paper-style question: it returns the sorted patient ids

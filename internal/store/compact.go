@@ -4,23 +4,27 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
-// compactBatchRows is how many live rows Compact frames per batch record.
-const compactBatchRows = 512
-
-// Compact rewrites every shard's write-ahead log so it contains exactly
-// that shard's live state (one create-table record per table, its
-// create-index records, batch-insert records covering the live rows),
-// dropping superseded inserts and deletes. Shards compact in parallel
-// and independently: each rewrite goes to a temporary file that
-// atomically replaces that shard's log, so a crash during compaction
-// leaves each shard with either its old or its new log intact.
+// Compact folds every shard's live state into immutable sorted segment
+// files and truncates the shard's write-ahead log down to schema and
+// index records. Per shard, per table, the current view (existing
+// segments merged with the memtable, tombstones dropping dead keys) is
+// streamed in primary-key order into one new segment; a CRC'd MANIFEST
+// is then atomically replaced (write temp, fsync, rename, fsync dir) —
+// that rename is the commit point — and only then is the WAL swapped
+// for one holding just the create-table/create-index records. Shards
+// compact in parallel and independently.
 //
-// Long-running deployments of the extraction pipeline append one insert
-// per extracted attribute; compaction bounds recovery time — and with
-// sharding, recovery and compaction both parallelize across shards.
+// Every crash window recovers consistently: before the manifest commit
+// the old manifest and full WAL are untouched; between commit and WAL
+// swap the new segments replay under the old WAL, whose records
+// re-apply idempotently on top of them; after the swap the truncated
+// WAL replays over the segments alone. Post-compaction writes land in
+// the memtable and the truncated WAL, so recovery time is bounded by
+// the write volume since the last compaction, not the corpus.
 func (db *DB) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -40,7 +44,7 @@ func (db *DB) Compact() error {
 	return errors.Join(errs...)
 }
 
-// compactShard rewrites one shard's WAL. Callers hold db.mu.
+// compactShard compacts one shard. Callers hold db.mu.
 func (db *DB) compactShard(sh *Shard) error {
 	if sh.failed != nil {
 		// A previous compaction lost this shard's log; pretending the
@@ -50,10 +54,10 @@ func (db *DB) compactShard(sh *Shard) error {
 	if sh.log == nil {
 		return nil // in-memory shards have nothing to compact
 	}
-	// Freeze this shard's slice of every table for the rewrite: a
-	// concurrent writer would otherwise append to the old log after its
-	// rows were (or weren't) scanned, and the record would vanish in
-	// the swap. Writers on other shards proceed untouched.
+	// Freeze this shard's slice of every table: the merge must see a
+	// stable view, and the WAL swap must not race an append. Writers on
+	// other shards proceed untouched; readers holding snapshots keep
+	// their pinned segments (deleted only on their last unpin).
 	lockNames := make([]string, 0, len(sh.tables))
 	for n := range sh.tables {
 		lockNames = append(lockNames, n)
@@ -65,65 +69,64 @@ func (db *DB) compactShard(sh *Shard) error {
 	}
 	sh.logMu.Lock()
 	defer sh.logMu.Unlock()
+
+	segsDir := segsDirFor(sh.path)
+	if err := os.MkdirAll(segsDir, 0o755); err != nil {
+		return err
+	}
+	gen := sh.gen + 1
+
+	// Phase 1: write one new segment per table (and build its fresh
+	// pk-only secondary indexes alongside). Everything in this phase is
+	// additive — an error aborts with the shard untouched.
+	swaps := make([]tableSwap, 0, len(lockNames))
+	files := make(map[string]string, len(lockNames)) // table → file name
+	abort := func() {
+		for _, sw := range swaps {
+			sw.seg.unref()
+			os.Remove(sw.seg.path)
+		}
+	}
+	for ti, name := range lockNames {
+		ts := sh.tables[name]
+		sw, err := writeTableSegment(segsDir, gen, ti, ts)
+		if err != nil {
+			abort()
+			return err
+		}
+		swaps = append(swaps, sw)
+		files[name] = filepath.Base(sw.seg.path)
+	}
+
+	// Phase 2: write the truncated WAL to a temporary file — schema and
+	// index records only; the rows now live in the segments.
 	tmpPath := sh.path + ".compact"
 	tmp, err := openWAL(tmpPath)
 	if err != nil {
+		abort()
 		return err
 	}
-	// cleanup closes and removes the temporary log; used on every error
-	// path before the swap so no file handle or stray file leaks.
 	cleanup := func() {
 		tmp.close()
 		os.Remove(tmpPath)
+		abort()
 	}
-
 	for _, name := range lockNames {
 		ts := sh.tables[name]
-		s := ts.schema
-		if err := tmp.append(encodeCreateTablePayload(s)); err != nil {
+		if err := tmp.append(encodeCreateTablePayload(ts.schema)); err != nil {
 			cleanup()
 			return err
 		}
-		// Indexes are part of the live state: carry one create-index
-		// record per secondary index so they exist after replay of the
-		// compacted log.
 		idxCols := make([]string, 0, len(ts.secondary))
 		for col := range ts.secondary {
 			idxCols = append(idxCols, col)
 		}
 		sortKeys(idxCols)
 		for _, col := range idxCols {
-			if err := tmp.append(encodeCreateIndexPayload(s.Name, col)); err != nil {
+			if err := tmp.append(encodeCreateIndexPayload(name, col)); err != nil {
 				cleanup()
 				return err
 			}
-		}
-		var insertErr error
-		batch := make([]Row, 0, compactBatchRows)
-		flush := func() error {
-			if len(batch) == 0 {
-				return nil
-			}
-			p := encodeBatchPayload(s.Name, batch)
-			batch = batch[:0]
-			return tmp.append(p)
-		}
-		ts.primary.Ascend(func(_ []byte, val interface{}) bool {
-			batch = append(batch, val.(Row))
-			if len(batch) >= compactBatchRows {
-				if err := flush(); err != nil {
-					insertErr = err
-					return false
-				}
-			}
-			return true
-		})
-		if insertErr == nil {
-			insertErr = flush()
-		}
-		if insertErr != nil {
-			cleanup()
-			return insertErr
 		}
 	}
 	if err := tmp.sync(); err != nil {
@@ -132,23 +135,49 @@ func (db *DB) compactShard(sh *Shard) error {
 	}
 	if err := tmp.close(); err != nil {
 		os.Remove(tmpPath)
+		abort()
 		return err
 	}
 
-	// Swap: close the old log, rename, reopen for appending. Once the
-	// old log is closed, sh.log is nilled and any error below latches
-	// sh.failed, so later appends report the lost log instead of
-	// writing to a closed file (or silently skipping durability);
-	// reopening the database recovers.
-	if err := sh.log.close(); err != nil {
+	// Phase 3: commit. The manifest rename is the point of no return —
+	// before it the old state is fully intact, after it the new
+	// segments are authoritative and the old WAL merely re-applies rows
+	// the segments already hold.
+	if err := writeManifest(segsDir, gen, sortedManifestEntries(files)); err != nil {
 		os.Remove(tmpPath)
+		abort()
 		return err
 	}
-	sh.log = nil
+
+	// Phase 4: swap the WAL. Once the old log is closed, sh.log is
+	// nilled and any error below latches sh.failed, so later appends
+	// report the lost log instead of writing to a closed file (or
+	// silently skipping durability); reopening the database recovers
+	// from the committed manifest plus whatever WAL survives.
+	swapInMemory := func() {
+		for _, sw := range swaps {
+			ts := sw.ts
+			for _, old := range ts.segs {
+				old.markObsolete()
+				old.unref()
+			}
+			ts.segs = []*segment{sw.seg}
+			ts.primary = newBtree()
+			ts.secondary = sw.secondary
+			ts.count = sw.seg.nRows
+			ts.seq++
+		}
+		sh.gen = gen
+	}
 	fail := func(err error) error {
 		sh.failed = err
+		swapInMemory() // the manifest committed; reads follow it
 		return err
 	}
+	if err := sh.log.close(); err != nil {
+		return fail(fmt.Errorf("store: compact close: %w (shard closed; reopen to recover)", err))
+	}
+	sh.log = nil
 	if err := os.Rename(tmpPath, sh.path); err != nil {
 		return fail(fmt.Errorf("store: compact rename: %w (shard closed; reopen to recover)", err))
 	}
@@ -161,5 +190,63 @@ func (db *DB) compactShard(sh *Shard) error {
 		return fail(fmt.Errorf("store: compact reopen replay: %w (shard closed; reopen to recover)", err))
 	}
 	sh.log = l
+	swapInMemory()
 	return nil
+}
+
+// tableSwap is one table's prepared post-compaction state: the opened
+// new segment and the rebuilt by-reference secondary indexes, installed
+// together after the manifest commit.
+type tableSwap struct {
+	ts        *tableShard
+	seg       *segment
+	secondary map[string]*btree
+}
+
+// writeTableSegment streams one table shard's live view (segments +
+// memtable, newest wins, tombstones dropped) into a new segment file
+// and builds the fresh by-reference secondary indexes for the state
+// after the swap. Callers hold the table shard's write lock.
+func writeTableSegment(segsDir string, gen uint64, ti int, ts *tableShard) (sw tableSwap, err error) {
+	path := filepath.Join(segsDir, segFileName(gen, ti))
+	w, err := newSegmentWriter(path, ts.schema)
+	if err != nil {
+		return sw, err
+	}
+	newIdx := make(map[string]*btree, len(ts.secondary))
+	cols := make([]string, 0, len(ts.secondary))
+	for col := range ts.secondary {
+		newIdx[col] = newBtree()
+		cols = append(cols, col)
+	}
+	ss := ts.captureLocked(nil, nil)
+	defer ss.release()
+	iterErr := ss.iterate(nil, nil, nil, func(row Row) bool {
+		if err = w.add(row); err != nil {
+			return false
+		}
+		key := encodeKey(row[ts.schema.Primary])
+		for _, col := range cols {
+			ci := ts.schema.colIndex(col)
+			indexAdd(newIdx[col], encodeKey(row[ci]), key, nil)
+		}
+		return true
+	})
+	if err == nil {
+		err = iterErr
+	}
+	if err != nil {
+		w.f.Close()
+		os.Remove(path)
+		return sw, err
+	}
+	if err = w.finish(); err != nil {
+		return sw, err
+	}
+	seg, err := openSegment(path)
+	if err != nil {
+		os.Remove(path)
+		return sw, err
+	}
+	return tableSwap{ts: ts, seg: seg, secondary: newIdx}, nil
 }

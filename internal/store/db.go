@@ -265,7 +265,9 @@ func (db *DB) buildRouters() error {
 					if err := sh.appendLog(encodeCreateIndexPayload(name, col)); err != nil {
 						return err
 					}
-					ts.createIndexLocked(col)
+					if err := ts.createIndexLocked(col); err != nil {
+						return err
+					}
 				}
 			}
 			shards[i] = ts
@@ -308,10 +310,11 @@ func OpenMemorySharded(n int) *DB {
 func (db *DB) Shards() int { return len(db.shards) }
 
 // RecoveredWithLoss reports whether Open had to truncate a corrupt WAL
-// tail on any shard.
+// tail on any shard, or fall back to WAL-only recovery because a
+// shard's segment manifest (or a segment it listed) was unreadable.
 func (db *DB) RecoveredWithLoss() bool {
 	for _, sh := range db.shards {
-		if sh.dropped > 0 {
+		if sh.dropped > 0 || sh.segLost {
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -277,6 +278,92 @@ func FuzzRowCodec(f *testing.F) {
 		// arbitrary decoded rows).
 		for _, v := range row {
 			_ = encodeKey(v)
+		}
+	})
+}
+
+// validSegmentBytes builds a well-formed segment file (multiple blocks,
+// footer schema) to seed FuzzSegmentDecode near the real format.
+func validSegmentBytes(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.seg")
+	w, err := newSegmentWriter(path, attrSchema())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 1; i <= 2*segmentBlockRows+17; i++ {
+		row := Row{Int(int64(i)), Int(int64(i % 9)), Str("pulse"), Str("v"), Float(float64(i))}
+		if err := w.add(row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.finish(); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzSegmentDecode feeds arbitrary bytes to openSegment. The contract:
+// malformed input is rejected with an error, never a panic or an OOM
+// pre-allocation; input that opens must iterate in strictly ascending
+// key order, agree with its advertised row count, and serve its zone
+// maps' min/max keys by point get.
+func FuzzSegmentDecode(f *testing.F) {
+	seed := validSegmentBytes(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // torn tail
+	flip := append([]byte(nil), seed...)
+	flip[len(flip)/2] ^= 0xff // corrupt block body
+	f.Add(flip)
+	metaFlip := append([]byte(nil), seed...)
+	metaFlip[len(metaFlip)-segTailLen+2] ^= 0xff // corrupt index length
+	f.Add(metaFlip)
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+
+	// One reusable scratch file per fuzz worker process: a TempDir per
+	// exec would throttle the fuzzer to file-system metadata speed.
+	scratch := filepath.Join(os.TempDir(), fmt.Sprintf("fuzzseg-%d.seg", os.Getpid()))
+	f.Cleanup(func() { os.Remove(scratch) })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := os.WriteFile(scratch, data, 0o644); err != nil {
+			t.Skip()
+		}
+		path := scratch
+		sg, err := openSegment(path)
+		if err != nil {
+			return // rejected cleanly
+		}
+		defer sg.unref()
+		it := newSegIter(sg, nil, nil)
+		n := 0
+		var prev []byte
+		for it.valid() {
+			k := it.key()
+			if prev != nil && string(prev) >= string(k) {
+				t.Fatalf("iteration keys not strictly ascending")
+			}
+			prev = append(prev[:0], k...)
+			n++
+			it.next()
+		}
+		if it.err != nil {
+			return // block-level corruption surfaced as an error: fine
+		}
+		if n != sg.nRows {
+			t.Fatalf("iterated %d rows, footer advertises %d", n, sg.nRows)
+		}
+		if len(sg.blocks) > 0 {
+			for _, k := range [][]byte{sg.minKey, sg.maxKey} {
+				if _, ok, err := sg.get(k); err == nil && !ok {
+					t.Fatalf("zone-map key absent from segment")
+				}
+			}
 		}
 	})
 }

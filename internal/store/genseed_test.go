@@ -56,6 +56,30 @@ func TestGenSeedCorpora(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	seg := validSegmentBytes(t)
+	segDir := filepath.Join("testdata", "fuzz", "FuzzSegmentDecode")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	segTorn := seg[:len(seg)-3]
+	segFlip := append([]byte(nil), seg...)
+	segFlip[len(segFlip)/2] ^= 0xff
+	segMeta := append([]byte(nil), seg...)
+	segMeta[len(segMeta)-segTailLen+2] ^= 0xff
+	segSeeds := map[string][]byte{
+		"valid-segment": seg,
+		"torn-tail":     segTorn,
+		"bitflip-body":  segFlip,
+		"bitflip-meta":  segMeta,
+		"empty":         {},
+		"magic-only":    []byte(segMagic),
+	}
+	for name, data := range segSeeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(segDir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	codecSeeds := map[string]struct {
 		data []byte
 		n    int

@@ -79,6 +79,8 @@ type QueryStats struct {
 	RowsExamined int    // candidate rows fetched and tested
 	FullScan     bool   // fell back to scanning the primary index
 	Shards       int    // shards examined (1 on a single-shard engine)
+	Segments     int    // segment files consulted (scans and index-entry resolves)
+	BlocksPruned int    // segment blocks skipped via zone maps
 }
 
 // Plan renders the access path for logs ("index(attribute)" or "scan").
@@ -121,23 +123,27 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 	}
 
 	if len(t.shards) == 1 {
-		rows, stats := t.shards[0].query(q, cis)
+		rows, stats, err := t.shards[0].query(q, cis)
 		stats.Shards = 1
-		return rows, stats, nil
+		return rows, stats, err
 	}
 
 	// Fan out: one goroutine per shard, identical plan everywhere.
 	parts := make([][]Row, len(t.shards))
 	statss := make([]QueryStats, len(t.shards))
+	errs := make([]error, len(t.shards))
 	var wg sync.WaitGroup
 	for i, ts := range t.shards {
 		wg.Add(1)
 		go func(i int, ts *tableShard) {
 			defer wg.Done()
-			parts[i], statss[i] = ts.query(q, cis)
+			parts[i], statss[i], errs[i] = ts.query(q, cis)
 		}(i, ts)
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, QueryStats{Shards: len(t.shards)}, err
+	}
 
 	var stats QueryStats
 	for _, st := range statss {
@@ -148,6 +154,8 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 		}
 		stats.IndexProbes += st.IndexProbes
 		stats.RowsExamined += st.RowsExamined
+		stats.Segments += st.Segments
+		stats.BlocksPruned += st.BlocksPruned
 	}
 	stats.Shards = len(t.shards)
 	// Each part is already in the plan's order; merge restores the
@@ -165,10 +173,12 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 }
 
 // query runs one shard's slice of the plan. cis are the pre-resolved
-// column indexes of q.Preds (validated by the router).
-func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats) {
+// column indexes of q.Preds (validated by the router). The index paths
+// run under the shard's read lock; the scan path captures a snapshot
+// under it and then iterates with no lock held, so a long scan never
+// blocks this shard's writers.
+func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats, error) {
 	ts.mu.RLock()
-	defer ts.mu.RUnlock()
 
 	var stats QueryStats
 	var out []Row
@@ -197,36 +207,59 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats) {
 		if !ok {
 			continue
 		}
+		defer ts.mu.RUnlock()
 		stats.UsedIndex = true
 		stats.IndexCol = p.Col
 		stats.IndexProbes = 1
+		segReads := 0
 		if pv, ok := idx.Get(encodeKey(p.V)); ok {
 			for _, e := range pv.(*postingList).entries {
 				stats.RowsExamined++
-				if filter(e.row, i) {
-					out = append(out, e.row)
+				if e.row == nil {
+					segReads++
+				}
+				row, err := ts.resolve(e)
+				if err != nil {
+					return nil, stats, err
+				}
+				if filter(row, i) {
+					out = append(out, row)
 					if done() {
 						break
 					}
 				}
 			}
 		}
-		return out, stats
+		if segReads > 0 {
+			stats.Segments = len(ts.segs)
+		}
+		return out, stats, nil
 	}
 
 	// 2. Range predicates on one indexed column: a bounded index walk.
 	// All range predicates on the chosen column tighten the bounds, so
 	// none of them needs re-checking per row.
 	if col, lo, hi, ok := ts.rangeBounds(q.Preds); ok {
+		defer ts.mu.RUnlock()
 		idx := ts.secondary[col]
 		stats.UsedIndex = true
 		stats.IndexCol = col
+		var walkErr error
+		segReads := 0
 		idx.AscendRange(lo, hi, func(_ []byte, v interface{}) bool {
 			stats.IndexProbes++
 			for _, e := range v.(*postingList).entries {
 				stats.RowsExamined++
-				if filterExceptCol(q.Preds, cis, col, e.row) {
-					out = append(out, e.row)
+				if e.row == nil {
+					segReads++
+				}
+				row, err := ts.resolve(e)
+				if err != nil {
+					walkErr = err
+					return false
+				}
+				if filterExceptCol(q.Preds, cis, col, row) {
+					out = append(out, row)
 					if done() {
 						return false
 					}
@@ -234,13 +267,26 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats) {
 			}
 			return true
 		})
-		return out, stats
+		if walkErr != nil {
+			return nil, stats, walkErr
+		}
+		if segReads > 0 {
+			stats.Segments = len(ts.segs)
+		}
+		return out, stats, nil
 	}
 
-	// 3. Fallback: primary scan.
+	// 3. Fallback: a snapshot scan. Predicates on the primary-key
+	// column tighten the scan to [lo, hi) key bounds, which the zone
+	// maps turn into skipped segment blocks.
+	lo, hi := pkBounds(q.Preds, cis, ts.schema.Primary)
+	ss := ts.captureLocked(lo, hi)
+	ts.mu.RUnlock()
+	defer ss.release()
 	stats.FullScan = true
-	ts.primary.Ascend(func(_ []byte, val interface{}) bool {
-		row := val.(Row)
+	stats.Segments = len(ss.segs)
+	var sstats snapStats
+	err := ss.iterate(lo, hi, &sstats, func(row Row) bool {
 		stats.RowsExamined++
 		if filter(row, -1) {
 			out = append(out, row)
@@ -250,7 +296,44 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats) {
 		}
 		return true
 	})
-	return out, stats
+	stats.BlocksPruned = sstats.blocksPruned
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// pkBounds folds the predicates on the primary-key column into [lo, hi)
+// encoded-key bounds for the scan path (nil = unbounded). Exclusive
+// bounds use the key-successor trick: appending a zero byte to an
+// encoded key yields the smallest strictly greater key.
+func pkBounds(preds []Pred, cis []int, primary int) (lo, hi []byte) {
+	for i, p := range preds {
+		if cis[i] != primary {
+			continue
+		}
+		var plo, phi []byte
+		switch p.Op {
+		case OpEq:
+			plo = encodeKey(p.V)
+			phi = append(encodeKey(p.V), 0)
+		case OpGe:
+			plo = encodeKey(p.V)
+		case OpGt:
+			plo = append(encodeKey(p.V), 0)
+		case OpLt:
+			phi = encodeKey(p.V)
+		case OpLe:
+			phi = append(encodeKey(p.V), 0)
+		}
+		if plo != nil && (lo == nil || bytes.Compare(plo, lo) > 0) {
+			lo = plo
+		}
+		if phi != nil && (hi == nil || bytes.Compare(phi, hi) < 0) {
+			hi = phi
+		}
+	}
+	return lo, hi
 }
 
 // rangeBounds picks the first indexed column that carries a range

@@ -291,38 +291,58 @@ func checkShardIndexConsistent(t *testing.T, ts *tableShard) {
 	t.Helper()
 	ts.mu.RLock()
 	defer ts.mu.RUnlock()
+	// Materialize the shard's live view — segments merged with the
+	// memtable, tombstones dropped — which is what the indexes must
+	// mirror exactly.
+	live := make(map[string]Row)
+	ss := ts.captureLocked(nil, nil)
+	defer ss.release()
+	pkc := ts.schema.Primary
+	if err := ss.iterate(nil, nil, nil, func(row Row) bool {
+		live[string(encodeKey(row[pkc]))] = row
+		return true
+	}); err != nil {
+		t.Fatalf("shard %d: merged iterate: %v", ts.shard.id, err)
+	}
+	if len(live) != ts.count {
+		t.Errorf("shard %d: live count %d, merged view has %d rows", ts.shard.id, ts.count, len(live))
+	}
 	for col, idx := range ts.secondary {
 		ci := ts.schema.colIndex(col)
-		// Every table row appears in the index under its column value.
-		ts.primary.Ascend(func(pk []byte, val interface{}) bool {
-			row := val.(Row)
+		// Every live row appears in the index under its column value.
+		for pk, row := range live {
 			v, ok := idx.Get(encodeKey(row[ci]))
 			if !ok {
 				t.Errorf("shard %d: index %s missing value %v", ts.shard.id, col, row[ci])
-				return true
+				continue
 			}
-			if _, found := v.(*postingList).find(string(pk)); !found {
-				t.Errorf("shard %d: index %s missing row pk %v", ts.shard.id, col, row[0])
+			if _, found := v.(*postingList).find(pk); !found {
+				t.Errorf("shard %d: index %s missing row pk %v", ts.shard.id, col, row[pkc])
 			}
-			return true
-		})
-		// And the index holds no extra rows.
+		}
+		// And the index holds no extra or stale rows; by-reference
+		// entries must resolve from the segments.
 		indexed := 0
 		idx.Ascend(func(_ []byte, v interface{}) bool {
 			pl := v.(*postingList)
 			indexed += len(pl.entries)
 			for _, e := range pl.entries {
-				got, ok := ts.primary.Get([]byte(e.pk))
+				want, ok := live[e.pk]
 				if !ok {
-					t.Errorf("shard %d: index %s holds pk absent from table: row %v", ts.shard.id, col, e.row)
-				} else if !rowsEqual(got.(Row), e.row) {
-					t.Errorf("shard %d: index %s holds stale row for pk %v", ts.shard.id, col, e.row[0])
+					t.Errorf("shard %d: index %s holds pk absent from live view", ts.shard.id, col)
+					continue
+				}
+				got, err := ts.resolve(e)
+				if err != nil {
+					t.Errorf("shard %d: index %s entry resolve: %v", ts.shard.id, col, err)
+				} else if !rowsEqual(got, want) {
+					t.Errorf("shard %d: index %s holds stale row for pk %v", ts.shard.id, col, want[pkc])
 				}
 			}
 			return true
 		})
-		if indexed != ts.primary.Len() {
-			t.Errorf("shard %d: index %s holds %d rows, table has %d", ts.shard.id, col, indexed, ts.primary.Len())
+		if indexed != len(live) {
+			t.Errorf("shard %d: index %s holds %d rows, table has %d", ts.shard.id, col, indexed, len(live))
 		}
 	}
 }

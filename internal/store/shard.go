@@ -7,10 +7,11 @@ import (
 )
 
 // Shard is one partition of the database: its own write-ahead log file,
-// its own log mutex, and its own slice of every table's state (B-tree
-// primary index, secondary indexes, row data). Shards share nothing, so
-// writers on different shards append, flush and lock independently —
-// the decomposition that lets ingest and queries scale with cores.
+// its own segment directory, its own log mutex, and its own slice of
+// every table's state (segments + memtable + secondary indexes). Shards
+// share nothing, so writers on different shards append, flush and lock
+// independently — the decomposition that lets ingest and queries scale
+// with cores.
 //
 // Rows are assigned to shards by a stable hash of the encoded primary
 // key (see shardIndex), so a row's home shard never changes across
@@ -22,26 +23,53 @@ type Shard struct {
 	log     *wal       // nil = in-memory shard
 	failed  error      // a failed compaction swap left the shard logless
 	path    string
-	dropped int // WAL records dropped during this shard's recovery
+	dropped int  // WAL records dropped during this shard's recovery
+	segLost bool // segment state was unreadable; recovered from WAL alone
+	gen     uint64
 	tables  map[string]*tableShard
+
+	// pendingSegs holds manifest segments between open and the replay of
+	// their tables' create records; leftovers (a WAL whose create record
+	// was lost to a crash) are synthesized from the segment's own footer
+	// schema after replay.
+	pendingSegs map[string]*segment
 }
 
-// openShard opens (creating if necessary) one shard's WAL and replays
-// it into fresh table state. On replay failure the file handle is
-// closed before returning, so an engine that fails mid-open leaks no
-// descriptors.
+// openShard opens (creating if necessary) one shard's WAL and segment
+// directory, then replays the WAL over the segment state. A torn
+// manifest or unreadable segment falls back to WAL-only recovery
+// (reported via RecoveredWithLoss); on replay failure the log handle
+// and every opened segment are closed before returning, so an engine
+// that fails mid-open leaks no descriptors.
 func openShard(id int, path string) (*Shard, error) {
-	l, err := openWAL(path)
+	segs, gen, segLost, err := loadShardSegments(segsDirFor(path))
 	if err != nil {
 		return nil, err
 	}
-	sh := &Shard{id: id, log: l, path: path, tables: make(map[string]*tableShard)}
+	l, err := openWAL(path)
+	if err != nil {
+		for _, sg := range segs {
+			sg.unref()
+		}
+		return nil, err
+	}
+	sh := &Shard{
+		id: id, log: l, path: path, gen: gen, segLost: segLost,
+		tables: make(map[string]*tableShard), pendingSegs: segs,
+	}
 	dropped, err := l.replay(sh.applyLogRecord)
 	if err != nil {
 		l.close()
+		sh.releaseSegments()
 		return nil, err
 	}
 	sh.dropped = dropped
+	// Segments whose create-table record was lost to a torn WAL:
+	// the footer schema makes the segment self-describing, so the table
+	// (and its rows) survive anyway.
+	for _, sg := range sh.pendingSegs {
+		sh.newTableShard(sg.schema)
+	}
 	return sh, nil
 }
 
@@ -50,10 +78,29 @@ func memShard(id int) *Shard {
 	return &Shard{id: id, tables: make(map[string]*tableShard)}
 }
 
-// close flushes and closes the shard's log. Safe to call twice.
+// releaseSegments unpins every segment the shard holds — attached to
+// tables or still pending — closing their descriptors.
+func (sh *Shard) releaseSegments() {
+	for _, ts := range sh.tables {
+		ts.mu.Lock()
+		for _, sg := range ts.segs {
+			sg.unref()
+		}
+		ts.segs = nil
+		ts.mu.Unlock()
+	}
+	for name, sg := range sh.pendingSegs {
+		sg.unref()
+		delete(sh.pendingSegs, name)
+	}
+}
+
+// close flushes and closes the shard's log and releases its segments.
+// Safe to call twice.
 func (sh *Shard) close() error {
 	sh.logMu.Lock()
 	defer sh.logMu.Unlock()
+	sh.releaseSegments()
 	if sh.log == nil {
 		return nil
 	}
@@ -102,7 +149,8 @@ func (sh *Shard) appendLog(payload []byte) error {
 }
 
 // newTableShard creates (or returns the existing) state for one table on
-// this shard.
+// this shard, attaching the table's manifest segment when one is
+// pending from open.
 func (sh *Shard) newTableShard(s Schema) *tableShard {
 	if ts, ok := sh.tables[s.Name]; ok {
 		return ts
@@ -112,6 +160,19 @@ func (sh *Shard) newTableShard(s Schema) *tableShard {
 		shard:     sh,
 		primary:   newBtree(),
 		secondary: make(map[string]*btree),
+	}
+	if sg, ok := sh.pendingSegs[s.Name]; ok {
+		delete(sh.pendingSegs, s.Name)
+		if schemaEqual(sg.schema, s) {
+			ts.segs = []*segment{sg}
+			ts.count = sg.nRows
+		} else {
+			// The WAL and the segment footer disagree on the schema:
+			// trust the WAL (it carries the later writes) and recover
+			// without the segment, reporting the loss.
+			sg.unref()
+			sh.segLost = true
+		}
 	}
 	sh.tables[s.Name] = ts
 	return ts
@@ -155,40 +216,20 @@ func (sh *Shard) applyLogRecord(payload []byte) error {
 		return ErrCorrupt
 	}
 	op := payload[0]
+	if op == opCreateTable {
+		s, err := decodeSchemaPayload(payload)
+		if err != nil {
+			return err
+		}
+		sh.newTableShard(s)
+		return nil
+	}
 	rest := payload[1:]
 	name, rest, err := readString(rest)
 	if err != nil {
 		return err
 	}
 	switch op {
-	case opCreateTable:
-		if len(rest) < 2 {
-			return ErrCorrupt
-		}
-		ncols, primary := int(rest[0]), int(rest[1])
-		rest = rest[2:]
-		s := Schema{Name: name, Primary: primary}
-		for i := 0; i < ncols; i++ {
-			var cname string
-			cname, rest, err = readString(rest)
-			if err != nil {
-				return err
-			}
-			if len(rest) < 1 {
-				return ErrCorrupt
-			}
-			s.Columns = append(s.Columns, Column{Name: cname, Type: ColType(rest[0])})
-			rest = rest[1:]
-		}
-		if len(s.Columns) == 0 || s.Primary < 0 || s.Primary >= len(s.Columns) {
-			return ErrCorrupt
-		}
-		for _, c := range s.Columns {
-			if c.Type < TInt || c.Type > TBool {
-				return ErrCorrupt
-			}
-		}
-		sh.newTableShard(s)
 	case opInsert:
 		ts, ok := sh.tables[name]
 		if !ok {
@@ -245,8 +286,11 @@ func (sh *Shard) applyLogRecord(payload []byte) error {
 			return err
 		}
 		key := encodeKey(keyRow[0])
-		if v, ok := ts.primary.Get(key); ok {
-			ts.applyDelete(key, v.(Row))
+		// The key may live in a segment rather than the memtable; a
+		// segment read error here is treated as key-absent (the delete
+		// then has nothing visible to remove).
+		if row, live, _ := ts.liveGet(key); live {
+			ts.applyDelete(key, row)
 		}
 	case opCreateIndex:
 		ts, ok := sh.tables[name]
@@ -260,7 +304,9 @@ func (sh *Shard) applyLogRecord(payload []byte) error {
 		if len(rest) != 0 || ts.schema.colIndex(col) < 0 {
 			return ErrCorrupt
 		}
-		ts.createIndexLocked(col)
+		if err := ts.createIndexLocked(col); err != nil {
+			return err
+		}
 	default:
 		return ErrCorrupt
 	}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -44,31 +45,37 @@ func (s *Schema) validate(row Row) error {
 }
 
 // Table is a hash-partitioned table: rows live on the shard selected by
-// their encoded primary key, each partition backed by that shard's
-// write-ahead log and guarded by its own RWMutex. Point operations
-// (Insert, Get, Delete, Update, Upsert) route to one shard; batch
-// inserts split into per-shard sub-batches logged and applied in
-// parallel; reads that span the table (Query, Lookup, Scan, …) fan out
-// across shards and merge into the same deterministic order a
-// single-shard table produces.
-//
-// Tables are safe for concurrent use: mutations hold their shard's
-// write lock, reads its read lock, so readers overlap each other and
-// writers on other shards, and serialize only against writers of the
-// same shard.
+// their encoded primary key. Each shard serves its slice from two
+// layers: immutable sorted segment files written by compaction, and an
+// in-memory memtable (B-tree) holding everything written since — rows,
+// plus tombstones masking segment keys deleted after compaction. Point
+// operations route to one shard; batch inserts split into per-shard
+// sub-batches logged and applied in parallel; scans and range reads
+// take a snapshot (pinned segments + captured memtable) and k-way-merge
+// it without holding any lock, so a long analytic read never blocks a
+// live ingest.
 type Table struct {
 	schema Schema
 	shards []*tableShard
 }
 
-// tableShard is one shard's slice of a table: the rows routed to it,
-// their B-tree primary index, and the shard-local halves of every
-// secondary index.
+// tombstone marks a memtable key deleted after the last compaction: it
+// masks any segment-resident row with the same key until the next
+// compaction drops both.
+type tombstone struct{}
+
+// tableShard is one shard's slice of a table: its immutable segments,
+// the memtable of post-compaction writes, the live-row count, the
+// snapshot sequence, and the shard-local halves of every secondary
+// index.
 type tableShard struct {
 	schema    Schema
 	shard     *Shard
 	mu        sync.RWMutex
-	primary   *btree            // pk key bytes → Row
+	segs      []*segment        // immutable sorted runs, oldest → newest
+	primary   *btree            // memtable: pk key bytes → Row | tombstone
+	count     int               // live rows (segments + memtable − tombstones)
+	seq       uint64            // bumped per mutation; snapshot watermark
 	secondary map[string]*btree // column name → key bytes → postingList
 }
 
@@ -88,6 +95,46 @@ func (t *Table) shardFor(key []byte) *tableShard {
 	return t.shards[shardIndex(key, len(t.shards))]
 }
 
+// segGet searches the shard's segments newest-first for key.
+func (ts *tableShard) segGet(key []byte) (Row, bool, error) {
+	for i := len(ts.segs) - 1; i >= 0; i-- {
+		row, ok, err := ts.segs[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// liveGet resolves key through the layers: a memtable row is live, a
+// memtable tombstone is dead (whatever the segments hold), otherwise
+// the segments decide. Callers hold at least the read lock.
+func (ts *tableShard) liveGet(key []byte) (Row, bool, error) {
+	if v, ok := ts.primary.Get(key); ok {
+		if row, isRow := v.(Row); isRow {
+			return row, true, nil
+		}
+		return nil, false, nil // tombstone
+	}
+	return ts.segGet(key)
+}
+
+// segsMightHave reports whether key falls inside any segment's zone
+// map — the cheap test that lets deletes of never-compacted keys skip
+// the tombstone (and the disk).
+func (ts *tableShard) segsMightHave(key []byte) bool {
+	for _, sg := range ts.segs {
+		if len(sg.blocks) > 0 &&
+			bytes.Compare(key, sg.minKey) >= 0 && bytes.Compare(key, sg.maxKey) <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // MaxPK returns the largest primary-key value in the table and whether
 // the table is non-empty. Id-allocating writers (core.PersistAll) seed
 // from it rather than from Len(): after a crash truncates one shard's
@@ -97,13 +144,10 @@ func (t *Table) MaxPK() (Value, bool) {
 	var best Value
 	found := false
 	for _, ts := range t.shards {
-		ts.mu.RLock()
-		_, v, ok := ts.primary.Max()
-		ts.mu.RUnlock()
+		pk, ok := ts.maxPK()
 		if !ok {
 			continue
 		}
-		pk := v.(Row)[t.schema.Primary]
 		if !found || cmpValues(pk, best) > 0 {
 			best, found = pk, true
 		}
@@ -111,19 +155,47 @@ func (t *Table) MaxPK() (Value, bool) {
 	return best, found
 }
 
-// Len returns the number of rows across all shards.
+// maxPK finds one shard's largest live key. With no segments it is a
+// B-tree walk; with segments the shard's snapshot is merged (the
+// segment max may be shadowed by a tombstone, so the zone map alone
+// cannot answer).
+func (ts *tableShard) maxPK() (Value, bool) {
+	ts.mu.RLock()
+	if len(ts.segs) == 0 {
+		defer ts.mu.RUnlock()
+		_, v, ok := ts.primary.Max()
+		if !ok {
+			return Value{}, false
+		}
+		return v.(Row)[ts.schema.Primary], true
+	}
+	ss := ts.captureLocked(nil, nil)
+	ts.mu.RUnlock()
+	defer ss.release()
+	var last Row
+	_ = ss.iterate(nil, nil, nil, func(r Row) bool { last = r; return true })
+	if last == nil {
+		return Value{}, false
+	}
+	return last[ts.schema.Primary], true
+}
+
+// Len returns the number of live rows across all shards. The count is
+// maintained incrementally by every mutation, so no segment is read.
 func (t *Table) Len() int {
 	n := 0
 	for _, ts := range t.shards {
 		ts.mu.RLock()
-		n += ts.primary.Len()
+		n += ts.count
 		ts.mu.RUnlock()
 	}
 	return n
 }
 
 // Insert adds a row. The primary key must be unique (routing by key
-// hash makes the per-shard check global).
+// hash makes the per-shard check global; the check consults the
+// segments' zone maps, so monotonically increasing keys never touch
+// disk).
 func (t *Table) Insert(row Row) error {
 	if err := t.schema.validate(row); err != nil {
 		return err
@@ -136,13 +208,17 @@ func (t *Table) Insert(row Row) error {
 }
 
 func (ts *tableShard) insertLocked(key []byte, row Row) error {
-	if _, exists := ts.primary.Get(key); exists {
+	_, live, err := ts.liveGet(key)
+	if err != nil {
+		return err
+	}
+	if live {
 		return fmt.Errorf("%w: %s", ErrDuplicate, row[ts.schema.Primary])
 	}
 	if err := ts.shard.logInsert(ts.schema.Name, row); err != nil {
 		return err
 	}
-	ts.apply(key, row)
+	ts.applyInsert(key, row)
 	return nil
 }
 
@@ -191,7 +267,12 @@ func (t *Table) InsertBatch(rows []Row) error {
 		inBatch := make(map[string]bool, len(g))
 		for i, row := range g {
 			key := keys[si][i]
-			if _, exists := ts.primary.Get(key); exists || inBatch[string(key)] {
+			_, live, err := ts.liveGet(key)
+			if err != nil {
+				unlock()
+				return err
+			}
+			if live || inBatch[string(key)] {
 				unlock()
 				return fmt.Errorf("%w: %s", ErrDuplicate, row[t.schema.Primary])
 			}
@@ -228,7 +309,7 @@ func (ts *tableShard) logApplyBatch(rows []Row, keys [][]byte) error {
 		return err
 	}
 	for i, row := range rows {
-		ts.apply(keys[i], row)
+		ts.applyInsert(keys[i], row)
 	}
 	return nil
 }
@@ -236,17 +317,25 @@ func (ts *tableShard) logApplyBatch(rows []Row, keys [][]byte) error {
 // replayInsert applies one row during WAL replay. A duplicate primary
 // key replaces the existing row (and its index postings) so that replay
 // of any log prefix leaves indexes exactly consistent with the table.
+// After a compaction interrupted between its manifest commit and its
+// WAL swap, the old WAL replays rows that also live in segments; the
+// replace path makes that idempotent.
 func (ts *tableShard) replayInsert(row Row) {
 	key := encodeKey(row[ts.schema.Primary])
-	if old, ok := ts.primary.Get(key); ok {
-		ts.applyDelete(key, old.(Row))
+	// A segment read error during replay is treated as key-absent: the
+	// memtable version shadows the segment on every read path anyway.
+	if old, live, _ := ts.liveGet(key); live {
+		ts.applyDelete(key, old)
 	}
-	ts.apply(key, row)
+	ts.applyInsert(key, row)
 }
 
-// apply performs the in-memory insert (used by Insert and WAL replay).
-func (ts *tableShard) apply(key []byte, row Row) {
+// applyInsert performs the in-memory insert. The key must not be live
+// (callers checked); it may be a tombstone, which the row replaces.
+func (ts *tableShard) applyInsert(key []byte, row Row) {
 	ts.primary.Put(key, row)
+	ts.count++
+	ts.seq++
 	for col, idx := range ts.secondary {
 		ci := ts.schema.colIndex(col)
 		sk := encodeKey(row[ci])
@@ -260,11 +349,14 @@ func (t *Table) Get(pk Value) (Row, error) {
 	ts := t.shardFor(key)
 	ts.mu.RLock()
 	defer ts.mu.RUnlock()
-	v, ok := ts.primary.Get(key)
-	if !ok {
+	row, live, err := ts.liveGet(key)
+	if err != nil {
+		return nil, err
+	}
+	if !live {
 		return nil, ErrNotFound
 	}
-	return v.(Row), nil
+	return row, nil
 }
 
 // Delete removes the row with the given primary key.
@@ -273,24 +365,36 @@ func (t *Table) Delete(pk Value) error {
 	ts := t.shardFor(key)
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	v, ok := ts.primary.Get(key)
-	if !ok {
+	old, live, err := ts.liveGet(key)
+	if err != nil {
+		return err
+	}
+	if !live {
 		return ErrNotFound
 	}
 	if err := ts.shard.logDelete(ts.schema.Name, pk); err != nil {
 		return err
 	}
-	ts.applyDelete(key, v.(Row))
+	ts.applyDelete(key, old)
 	return nil
 }
 
+// applyDelete removes a live row: index postings go, and the memtable
+// either drops the key or — when a segment may still hold it — takes a
+// tombstone so the segment row stays masked until the next compaction.
 func (ts *tableShard) applyDelete(key []byte, row Row) {
-	ts.primary.Delete(key)
 	for col, idx := range ts.secondary {
 		ci := ts.schema.colIndex(col)
 		sk := encodeKey(row[ci])
 		indexRemove(idx, sk, key)
 	}
+	if ts.segsMightHave(key) {
+		ts.primary.Put(key, tombstone{})
+	} else {
+		ts.primary.Delete(key)
+	}
+	ts.count--
+	ts.seq++
 }
 
 // CreateIndex builds a non-unique secondary index on the named column,
@@ -319,35 +423,59 @@ func (t *Table) CreateIndex(col string) error {
 		if err := ts.shard.logCreateIndex(ts.schema.Name, col); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		ts.createIndexLocked(col)
+		if err := ts.createIndexLocked(col); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		ts.mu.Unlock()
 	}
 	return firstErr
 }
 
-// createIndexLocked builds the index from the shard's current rows.
-// Callers hold the shard's write lock (or are single-threaded WAL
-// replay).
-func (ts *tableShard) createIndexLocked(col string) {
+// createIndexLocked builds the index from the shard's current live
+// view: memtable rows carry their values inline; segment-resident rows
+// are indexed by reference (primary key only), so the index holds no
+// second copy of rows that already live on disk. Callers hold the
+// shard's write lock (or are single-threaded WAL replay / open).
+func (ts *tableShard) createIndexLocked(col string) error {
 	if _, ok := ts.secondary[col]; ok {
-		return
+		return nil
 	}
 	idx := newBtree()
 	ci := ts.schema.colIndex(col)
+	// Segment rows first (skipping keys the memtable shadows) …
+	for _, sg := range ts.segs {
+		it := newSegIter(sg, nil, nil)
+		for it.valid() {
+			key := it.key()
+			if _, shadowed := ts.primary.Get(key); !shadowed {
+				indexAdd(idx, encodeKey(it.row()[ci]), key, nil)
+			}
+			it.next()
+		}
+		if it.err != nil {
+			return it.err
+		}
+	}
+	// … then live memtable rows with their values inline.
 	ts.primary.Ascend(func(key []byte, val interface{}) bool {
-		row := val.(Row)
-		indexAdd(idx, encodeKey(row[ci]), key, row)
+		if row := liveRow(val); row != nil {
+			indexAdd(idx, encodeKey(row[ci]), key, row)
+		}
 		return true
 	})
 	ts.secondary[col] = idx
+	return nil
 }
 
 // postingList is the value type of secondary index entries: the rows
 // sharing one indexed value, kept sorted by primary-key bytes so reads
-// stream them in deterministic order without sorting.
+// stream them in deterministic order without sorting. An entry's row
+// may be nil — the row then lives in a segment and is fetched by key
+// on read — so the index never duplicates disk-resident row data in
+// memory.
 type postingEntry struct {
 	pk  string // encoded primary key
-	row Row
+	row Row    // inline row, or nil when segment-resident
 }
 
 type postingList struct {
@@ -360,12 +488,33 @@ func (pl *postingList) find(pk string) (int, bool) {
 	return i, i < len(pl.entries) && pl.entries[i].pk == pk
 }
 
-// appendRows appends the posting rows (already pk-sorted) to out.
-func (pl *postingList) appendRows(out []Row) []Row {
-	for _, e := range pl.entries {
-		out = append(out, e.row)
+// resolve returns an entry's row, reading the segments for by-reference
+// entries. Callers hold at least the shard's read lock.
+func (ts *tableShard) resolve(e postingEntry) (Row, error) {
+	if e.row != nil {
+		return e.row, nil
 	}
-	return out
+	row, ok, err := ts.segGet([]byte(e.pk))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: index entry references missing segment row (%w)", ErrCorrupt)
+	}
+	return row, nil
+}
+
+// appendResolved appends the posting rows (already pk-sorted) to out,
+// resolving by-reference entries from the segments.
+func (ts *tableShard) appendResolved(pl *postingList, out []Row) ([]Row, error) {
+	for _, e := range pl.entries {
+		row, err := ts.resolve(e)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
 }
 
 func indexAdd(idx *btree, sk, pk []byte, row Row) {
@@ -434,7 +583,7 @@ func (ts *tableShard) lookup(col string, v Value) ([]Row, error) {
 		return nil, nil
 	}
 	pl := pv.(*postingList)
-	return pl.appendRows(make([]Row, 0, len(pl.entries))), nil
+	return ts.appendResolved(pl, make([]Row, 0, len(pl.entries)))
 }
 
 // kwayMerge merges per-shard result slices that are each already
@@ -489,70 +638,25 @@ func (t *Table) lessByColPK(ci int) func(a, b Row) bool {
 }
 
 // Scan calls fn for every row in ascending primary-key order until fn
-// returns false. It is the linear-scan baseline for the index ablation.
-// On a single shard fn streams under the shard's read lock and must not
-// mutate the table; with multiple shards the per-shard row sets are
-// collected first and merged, so fn runs without any lock held.
+// returns false. It runs over a snapshot: each shard's lock is held
+// only for the memtable capture, after which fn streams from pinned
+// segments and the captured entries with no lock held — a scan of any
+// length never blocks a concurrent ingest.
 func (t *Table) Scan(fn func(Row) bool) {
-	if len(t.shards) == 1 {
-		ts := t.shards[0]
-		ts.mu.RLock()
-		defer ts.mu.RUnlock()
-		ts.primary.Ascend(func(_ []byte, val interface{}) bool {
-			return fn(val.(Row))
-		})
-		return
-	}
-	for _, row := range t.collectSorted(nil, nil) {
-		if !fn(row) {
-			return
-		}
-	}
+	snap := t.Snapshot()
+	defer snap.Release()
+	_ = snap.Scan(fn) // a segment read error ends the scan early
 }
 
 // ScanRange calls fn for rows with primary key in [lo, hi), in
-// ascending primary-key order; locking as in Scan.
+// ascending primary-key order; snapshotting as in Scan, with the
+// bounds pruning both the memtable capture and (via zone maps) the
+// segment blocks read.
 func (t *Table) ScanRange(lo, hi Value, fn func(Row) bool) {
-	if len(t.shards) == 1 {
-		ts := t.shards[0]
-		ts.mu.RLock()
-		defer ts.mu.RUnlock()
-		ts.primary.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, val interface{}) bool {
-			return fn(val.(Row))
-		})
-		return
-	}
-	for _, row := range t.collectSorted(encodeKey(lo), encodeKey(hi)) {
-		if !fn(row) {
-			return
-		}
-	}
-}
-
-// collectSorted gathers every shard's rows (bounded to [lo, hi) when
-// non-nil) in parallel and merges them into global primary-key order.
-func (t *Table) collectSorted(lo, hi []byte) []Row {
-	parts := make([][]Row, len(t.shards))
-	var wg sync.WaitGroup
-	for i, ts := range t.shards {
-		wg.Add(1)
-		go func(i int, ts *tableShard) {
-			defer wg.Done()
-			ts.mu.RLock()
-			defer ts.mu.RUnlock()
-			visit := func(_ []byte, val interface{}) bool {
-				parts[i] = append(parts[i], val.(Row))
-				return true
-			}
-			if lo == nil && hi == nil {
-				ts.primary.Ascend(visit)
-			} else {
-				ts.primary.AscendRange(lo, hi, visit)
-			}
-		}(i, ts)
-	}
-	wg.Wait()
-	return kwayMerge(parts, t.lessByPK())
+	lok, hik := encodeKey(lo), encodeKey(hi)
+	snap := t.snapshotRange(lok, hik)
+	defer snap.Release()
+	_ = snap.scan(lok, hik, nil, fn)
 }
 
 // Select returns all rows matching a predicate, by full scan.

@@ -26,8 +26,11 @@ func (ts *tableShard) updateLocked(key []byte, pk Value, row Row) error {
 	if !bytes.Equal(key, newKey) {
 		return ErrPKChange
 	}
-	old, ok := ts.primary.Get(key)
-	if !ok {
+	old, live, err := ts.liveGet(key)
+	if err != nil {
+		return err
+	}
+	if !live {
 		return ErrNotFound
 	}
 	if err := ts.shard.logDelete(ts.schema.Name, pk); err != nil {
@@ -36,8 +39,8 @@ func (ts *tableShard) updateLocked(key []byte, pk Value, row Row) error {
 	if err := ts.shard.logInsert(ts.schema.Name, row); err != nil {
 		return err
 	}
-	ts.applyDelete(key, old.(Row))
-	ts.apply(key, row)
+	ts.applyDelete(key, old)
+	ts.applyInsert(key, row)
 	return nil
 }
 
@@ -52,7 +55,11 @@ func (t *Table) Upsert(row Row) error {
 	ts := t.shardFor(key)
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	if _, exists := ts.primary.Get(key); exists {
+	_, live, err := ts.liveGet(key)
+	if err != nil {
+		return err
+	}
+	if live {
 		return ts.updateLocked(key, pk, row)
 	}
 	return ts.insertLocked(key, row)
@@ -91,10 +98,14 @@ func (ts *tableShard) lookupRange(col string, lo, hi Value) ([]Row, error) {
 		return nil, ErrNoIndex
 	}
 	var out []Row
+	var walkErr error
 	idx.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, v interface{}) bool {
-		out = v.(*postingList).appendRows(out)
-		return true
+		out, walkErr = ts.appendResolved(v.(*postingList), out)
+		return walkErr == nil
 	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
 	return out, nil
 }
 
@@ -102,17 +113,20 @@ func (ts *tableShard) lookupRange(col string, lo, hi Value) ([]Row, error) {
 type Stats struct {
 	Rows       int
 	Shards     int
+	Segments   int // segment files currently serving reads
 	Indexes    int
 	IndexNames []string
 }
 
-// Stats returns the table's row count (summed over shards) and index
-// inventory (identical on every shard by construction).
+// Stats returns the table's live-row count and segment count (summed
+// over shards) and index inventory (identical on every shard by
+// construction).
 func (t *Table) Stats() Stats {
 	s := Stats{Shards: len(t.shards)}
 	for _, ts := range t.shards {
 		ts.mu.RLock()
-		s.Rows += ts.primary.Len()
+		s.Rows += ts.count
+		s.Segments += len(ts.segs)
 		ts.mu.RUnlock()
 	}
 	ts := t.shards[0]
