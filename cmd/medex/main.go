@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/records"
 	"repro/internal/store"
@@ -72,6 +74,20 @@ func runExtract(args []string) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("extract: unexpected argument %q", fs.Arg(0))
 	}
+	dbCheck := func() error {
+		if *dbPath == "" {
+			return nil // in-memory store
+		}
+		return cliutil.DBPath("-db", *dbPath)
+	}
+	if err := cliutil.FirstErr(
+		cliutil.Shards("-shards", *shards),
+		cliutil.NonNegative("-workers", *workers),
+		cliutil.ExistingDir("-corpus", *corpusDir),
+		dbCheck(),
+	); err != nil {
+		return fmt.Errorf("extract: %w", err)
+	}
 
 	strategy, err := parseStrategy(*strategyName)
 	if err != nil {
@@ -90,9 +106,6 @@ func runExtract(args []string) error {
 		sys.TrainSmoking(recs)
 	}
 
-	if *shards < 1 {
-		return fmt.Errorf("extract: -shards must be at least 1, got %d", *shards)
-	}
 	var db *store.DB
 	if *dbPath != "" {
 		db, err = store.OpenSharded(*dbPath, *shards)
@@ -127,7 +140,7 @@ func runExtract(args []string) error {
 		batch = batch[:0]
 		return nil
 	}
-	for _, ex := range sys.ProcessStream(slices.Values(recs), *workers) {
+	for _, ex := range sys.ProcessStream(context.Background(), slices.Values(recs), *workers) {
 		batch = append(batch, ex)
 		processed++
 		if len(batch) >= persistEvery {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/ontology"
 	"repro/internal/store"
@@ -35,6 +36,11 @@ func runQuery(args []string, out io.Writer) error {
 	if *dbPath == "" {
 		return fmt.Errorf("query: -db is required")
 	}
+	if *shards != 0 {
+		if err := cliutil.Shards("-shards", *shards); err != nil {
+			return fmt.Errorf("query: %w (0 auto-detects the layout)", err)
+		}
+	}
 	// store.Open creates missing files; a query against a typo'd path
 	// should error, not fabricate an empty database. Both layouts — a
 	// single WAL file and a shard directory — pass the Stat.
@@ -46,8 +52,9 @@ func runQuery(args []string, out io.Writer) error {
 		return err
 	}
 	defer db.Close()
-	if db.RecoveredWithLoss() {
-		fmt.Fprintln(out, "warning: database recovered with a truncated WAL tail")
+	health := db.Health()
+	if !health.Ok() {
+		fmt.Fprintf(out, "warning: engine health: %s\n", health)
 	}
 	// The ontology only serves concept-term resolution; skip its load
 	// for patient-chart and pure numeric questions.
@@ -98,7 +105,7 @@ func runQuery(args []string, out io.Writer) error {
 		for _, r := range matched {
 			fmt.Fprintf(out, "patient %-6d %-26s %-20s %g\n", r.Patient, r.Attribute, r.Value, r.Numeric)
 		}
-		fmt.Fprintf(out, "%d rows; %s\n", len(matched), planLine(stats))
+		fmt.Fprintf(out, "%d rows; %s\n", len(matched), planLine(stats, health))
 		return nil
 	}
 
@@ -111,18 +118,22 @@ func runQuery(args []string, out io.Writer) error {
 		ids[i] = fmt.Sprintf("%d", p)
 	}
 	fmt.Fprintf(out, "patients (%d): %s\n", len(patients), strings.Join(ids, " "))
-	fmt.Fprintln(out, planLine(stats))
+	fmt.Fprintln(out, planLine(stats, health))
 	return nil
 }
 
 // planLine summarizes how the question executed, including the fan-out
-// width so a sharded store is visible from the CLI, and the segment
-// read-path counters so a compacted store is too.
-func planLine(s core.QueryStats) string {
+// width so a sharded store is visible from the CLI, the segment
+// read-path counters so a compacted store is too, and the engine health
+// so answers computed over a degraded store carry the caveat inline.
+func planLine(s core.QueryStats, h store.Health) string {
 	line := fmt.Sprintf("plan: %d/%d conditions indexed, %d index probes, %d rows examined, %d full scans, %d shard(s)",
 		s.IndexedConds, s.Conds, s.IndexProbes, s.RowsExamined, s.FullScans, s.Shards)
 	if s.Segments > 0 {
 		line += fmt.Sprintf(", %d segment(s), %d blocks pruned", s.Segments, s.BlocksPruned)
+	}
+	if !h.Ok() {
+		line += fmt.Sprintf(", health: %s", h)
 	}
 	return line
 }

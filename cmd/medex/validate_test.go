@@ -1,0 +1,122 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExtractFlagValidation pins the one-line actionable errors for
+// nonsense flag values. main() turns any of these into log.Fatal, so a
+// bad invocation exits non-zero before touching the corpus or store.
+func TestExtractFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	if err := os.Mkdir(corpus, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(corpus, "gold.json"), []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"zero shards",
+			[]string{"-corpus", corpus, "-shards", "0"},
+			"extract: -shards must be at least 1 (got 0)",
+		},
+		{
+			"huge shards",
+			[]string{"-corpus", corpus, "-shards", "5000"},
+			"extract: -shards must be at most 1024 (got 5000)",
+		},
+		{
+			"negative workers",
+			[]string{"-corpus", corpus, "-workers", "-1"},
+			"extract: -workers must not be negative (got -1; 0 selects the default)",
+		},
+		{
+			"missing corpus",
+			[]string{"-corpus", filepath.Join(dir, "nope")},
+			"extract: -corpus: directory " + filepath.Join(dir, "nope") + " does not exist",
+		},
+		{
+			"unwritable db parent",
+			[]string{"-corpus", corpus, "-db", filepath.Join(dir, "missing", "x.db")},
+			"extract: -db: parent directory " + filepath.Join(dir, "missing") + " does not exist (create it first)",
+		},
+	}
+	for _, tc := range cases {
+		err := runExtract(tc.args)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if got := err.Error(); got != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestQueryFlagValidation pins the query-side flag errors.
+func TestQueryFlagValidation(t *testing.T) {
+	path := queryTestDB(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			"negative shards",
+			[]string{"-db", path, "-attr", "pulse", "-shards", "-2"},
+			"query: -shards must be at least 1 (got -2) (0 auto-detects the layout)",
+		},
+		{
+			"missing db flag",
+			[]string{"-attr", "pulse"},
+			"query: -db is required",
+		},
+	}
+	for _, tc := range cases {
+		err := runQuery(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if got := err.Error(); got != tc.want {
+			t.Errorf("%s:\n got %q\nwant %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestQueryHealthWarning: a database that recovered with loss surfaces
+// the engine health both as a warning line and in the plan line, so the
+// caveat travels with the answer.
+func TestQueryHealthWarning(t *testing.T) {
+	path := queryTestDB(t)
+	// Tear the WAL tail so the reopen recovers with loss.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runQuery([]string{"-db", path, "-attr", "pulse"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "warning: engine health: recovered with loss") {
+		t.Fatalf("no health warning in output:\n%s", got)
+	}
+	if !strings.Contains(got, ", health: recovered with loss") {
+		t.Fatalf("plan line does not carry the health caveat:\n%s", got)
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// benchServer builds a daemon over a file-backed sharded store for
+// end-to-end HTTP benchmarks.
+func benchServer(b *testing.B, shards int) (*server, *httptest.Server) {
+	b.Helper()
+	cfg := testConfig()
+	cfg.Shards = shards
+	db, err := store.OpenSharded(filepath.Join(b.TempDir(), "wh.db"), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{Strategy: cfg.Strategy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wh, err := core.OpenWarehouse(db, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newServer(cfg, db, sys, wh)
+	ts := httptest.NewServer(srv.routes())
+	b.Cleanup(func() {
+		ts.Close()
+		srv.ing.Close()
+		db.Close()
+	})
+	return srv, ts
+}
+
+// BenchmarkDaemonIngest measures the full ingest path — HTTP framing,
+// NDJSON decode, extraction, group commit with fsync — in records/s.
+func BenchmarkDaemonIngest(b *testing.B) {
+	const perBatch = 8
+	_, ts := benchServer(b, 4)
+	client := &http.Client{Timeout: 30 * time.Second}
+	ids := make([]int64, perBatch)
+	sent := 0
+	start := time.Now()
+	for b.Loop() {
+		for j := range ids {
+			ids[j] = int64(sent+j) + 1
+		}
+		sent += perBatch
+		resp, err := client.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(ndjsonPatients(ids...)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("ingest = %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sent)/time.Since(start).Seconds(), "records/s")
+}
+
+// BenchmarkDaemonQuery measures an indexed numeric-range question over
+// HTTP against a pre-loaded store.
+func BenchmarkDaemonQuery(b *testing.B) {
+	_, ts := benchServer(b, 4)
+	client := &http.Client{Timeout: 30 * time.Second}
+	for base := int64(0); base < 512; base += 64 {
+		ids := make([]int64, 64)
+		for j := range ids {
+			ids[j] = base + int64(j) + 1
+		}
+		resp, err := client.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(ndjsonPatients(ids...)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("seed ingest = %d", resp.StatusCode)
+		}
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		resp, err := client.Get(ts.URL + "/v1/query?attr=pulse&min=100")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("query = %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestDaemonLoadSmoke hammers an in-process daemon with concurrent
+// producers and readers (CI runs it under -race): a small queue invites
+// backpressure, every 429 is retried, and at the end the invariants
+// must hold — every acknowledged batch is queryable over HTTP, the
+// queue never grew past its bound, and the rejection counter matches
+// the 429s the clients saw.
+func TestDaemonLoadSmoke(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 4
+	cfg.MaxGroup = 2
+	db, err := store.OpenSharded(filepath.Join(t.TempDir(), "wh.db"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, cfg, db)
+
+	const producers, batches = 8, 12
+	var mu sync.Mutex
+	var acked []int64
+	var seen429 int64
+	var wg sync.WaitGroup
+	for p := range producers {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for seq := range batches {
+				pid := int64(p)*1000 + int64(seq)
+				for {
+					resp, err := client.Post(ts.URL+"/v1/ingest", "application/x-ndjson",
+						strings.NewReader(ndjsonPatients(pid, pid+100_000, pid+200_000)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						mu.Lock()
+						seen429++
+						mu.Unlock()
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusAccepted {
+						t.Errorf("ingest = %d, want 202", resp.StatusCode)
+						return
+					}
+					mu.Lock()
+					acked = append(acked, pid)
+					mu.Unlock()
+					break
+				}
+			}
+		}(p)
+	}
+	// Readers race the writers the whole time.
+	stopReads := make(chan struct{})
+	var rwg sync.WaitGroup
+	for range 2 {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				for _, path := range []string{"/v1/query?attr=pulse&min=100", "/readyz", "/v1/stats"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopReads)
+	rwg.Wait()
+
+	st := srv.ing.Stats()
+	if int(st.Batches) != len(acked) {
+		t.Fatalf("ingester acknowledged %d batches, clients saw %d", st.Batches, len(acked))
+	}
+	if st.PeakQueue > int64(cfg.QueueDepth) {
+		t.Fatalf("queue peaked at %d, bound is %d", st.PeakQueue, cfg.QueueDepth)
+	}
+	if st.Rejected != seen429 {
+		t.Fatalf("ingester rejected %d, clients saw %d 429s", st.Rejected, seen429)
+	}
+	t.Logf("acked %d batches, %d rejections, peak queue %d", len(acked), st.Rejected, st.PeakQueue)
+
+	// Every acknowledged batch answerable over HTTP.
+	for _, pid := range acked {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/patient/%d", ts.URL, pid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chart map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&chart); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(chart["rows"].([]any)) == 0 {
+			t.Fatalf("acknowledged patient %d has no chart", pid)
+		}
+	}
+}

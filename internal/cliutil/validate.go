@@ -1,0 +1,111 @@
+// Package cliutil holds flag validation shared by the medex CLI and the
+// medexd daemon. Every check returns a one-line, actionable error — the
+// flag name, the rejected value, and what would be accepted — so a
+// misconfigured invocation fails fast at startup instead of surfacing
+// later as a confusing runtime error.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// MaxShards bounds the accepted shard count. The engine itself has no
+// hard ceiling, but thousands of shard WALs on one machine is a
+// misconfiguration (each costs a descriptor and a goroutine per
+// operation), so the flag layer refuses it.
+const MaxShards = 1024
+
+// Shards validates a shard-count flag: at least 1, at most MaxShards.
+func Shards(flagName string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("%s must be at least 1 (got %d)", flagName, n)
+	}
+	if n > MaxShards {
+		return fmt.Errorf("%s must be at most %d (got %d)", flagName, MaxShards, n)
+	}
+	return nil
+}
+
+// Positive validates an integer flag that must be strictly positive
+// (queue depths, body limits, batch caps).
+func Positive(flagName string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive (got %d)", flagName, v)
+	}
+	return nil
+}
+
+// NonNegative validates an integer flag where zero selects a default
+// (worker counts: 0 = GOMAXPROCS) but negatives are nonsense.
+func NonNegative(flagName string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must not be negative (got %d; 0 selects the default)", flagName, v)
+	}
+	return nil
+}
+
+// PositiveDuration validates a timeout/deadline flag.
+func PositiveDuration(flagName string, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("%s must be a positive duration (got %s)", flagName, d)
+	}
+	return nil
+}
+
+// DBPath validates a database path flag: the path's parent directory
+// must exist and be writable (the store creates the file or shard
+// directory itself, so only the parent is checked). An empty path is
+// rejected; callers that allow in-memory stores should skip the check
+// for "".
+func DBPath(flagName, path string) error {
+	if path == "" {
+		return fmt.Errorf("%s is required", flagName)
+	}
+	parent := filepath.Dir(path)
+	st, err := os.Stat(parent)
+	if err != nil {
+		return fmt.Errorf("%s: parent directory %s does not exist (create it first)", flagName, parent)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("%s: %s is not a directory", flagName, parent)
+	}
+	// Writability: probe with a temp file rather than trusting mode
+	// bits, which miss ACLs, read-only mounts and ownership.
+	probe, err := os.CreateTemp(parent, ".medex-writable-*")
+	if err != nil {
+		return fmt.Errorf("%s: parent directory %s is not writable", flagName, parent)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return nil
+}
+
+// ExistingDir validates a directory flag that must already exist (a
+// corpus directory).
+func ExistingDir(flagName, path string) error {
+	if path == "" {
+		return fmt.Errorf("%s is required", flagName)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("%s: directory %s does not exist", flagName, path)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("%s: %s is not a directory", flagName, path)
+	}
+	return nil
+}
+
+// FirstErr returns the first non-nil error, letting callers validate a
+// whole flag set in one expression.
+func FirstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

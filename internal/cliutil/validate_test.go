@@ -1,0 +1,106 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func wantErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Fatalf("error is not one line: %q", err)
+	}
+}
+
+func TestShards(t *testing.T) {
+	if err := Shards("-shards", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Shards("-shards", MaxShards); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, Shards("-shards", 0), "-shards must be at least 1 (got 0)")
+	wantErr(t, Shards("-shards", -3), "(got -3)")
+	wantErr(t, Shards("-shards", MaxShards+1), "at most 1024")
+}
+
+func TestPositive(t *testing.T) {
+	if err := Positive("-queue", 5); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, Positive("-queue", 0), "-queue must be positive (got 0)")
+	wantErr(t, Positive("-queue", -1), "(got -1)")
+}
+
+func TestNonNegative(t *testing.T) {
+	if err := NonNegative("-workers", 0); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, NonNegative("-workers", -2), "-workers must not be negative")
+}
+
+func TestPositiveDuration(t *testing.T) {
+	if err := PositiveDuration("-drain-timeout", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, PositiveDuration("-drain-timeout", 0), "positive duration")
+	wantErr(t, PositiveDuration("-drain-timeout", -time.Second), "positive duration")
+}
+
+func TestDBPath(t *testing.T) {
+	dir := t.TempDir()
+	if err := DBPath("-db", filepath.Join(dir, "store.db")); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, DBPath("-db", ""), "-db is required")
+	wantErr(t, DBPath("-db", filepath.Join(dir, "missing", "store.db")), "does not exist")
+
+	// Parent is a file, not a directory.
+	f := filepath.Join(dir, "plainfile")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, DBPath("-db", filepath.Join(f, "store.db")), "is not a directory")
+
+	// Unwritable parent (skip as root, where mode bits don't bind).
+	if os.Geteuid() != 0 {
+		ro := filepath.Join(dir, "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		wantErr(t, DBPath("-db", filepath.Join(ro, "store.db")), "not writable")
+	}
+}
+
+func TestExistingDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExistingDir("-corpus", dir); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, ExistingDir("-corpus", ""), "-corpus is required")
+	wantErr(t, ExistingDir("-corpus", filepath.Join(dir, "nope")), "does not exist")
+	f := filepath.Join(dir, "file")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, ExistingDir("-corpus", f), "is not a directory")
+}
+
+func TestFirstErr(t *testing.T) {
+	if err := FirstErr(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	e := Positive("-x", 0)
+	if got := FirstErr(nil, e, Positive("-y", 0)); got != e {
+		t.Fatalf("FirstErr returned %v, want the first error", got)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/records"
+)
+
+// waitGoroutines waits for the goroutine count to fall back to (about)
+// baseline, dumping stacks on timeout.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				g, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// streamRecords builds n trivial one-section records (Patient only) so
+// cancellation tests spend their time in the streaming machinery, not
+// the parser.
+func streamRecords(n int) []records.Record {
+	recs := make([]records.Record, n)
+	for i := range recs {
+		recs[i] = records.Record{ID: i, Text: fmt.Sprintf("Patient:  %d\n", 1000+i)}
+	}
+	return recs
+}
+
+// TestProcessStreamCancel cancels the context at varying points mid
+// stream: the iteration must stop yielding promptly (no record after
+// the cancellation is observed late enough to matter) and every pool
+// goroutine — feeder, workers, closer — must exit.
+func TestProcessStreamCancel(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := streamRecords(200)
+	baseline := runtime.NumGoroutine()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, cancelAt := range []int{0, 1, 7, 50} {
+			ctx, cancel := context.WithCancel(context.Background())
+			seen := 0
+			for range sys.ProcessStream(ctx, recordValues(recs), workers) {
+				seen++
+				if seen == cancelAt {
+					cancel()
+				}
+			}
+			cancel()
+			// Cancellation is asynchronous: in-flight records may still
+			// be yielded, but the stream must end far short of the full
+			// input once cancelled.
+			if cancelAt > 0 && seen >= len(recs) {
+				t.Fatalf("workers=%d cancelAt=%d: stream ran to completion (%d records) despite cancel",
+					workers, cancelAt, seen)
+			}
+		}
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestProcessStreamCancelBeforeStart: a context cancelled before
+// iteration begins yields nothing and leaks nothing.
+func TestProcessStreamCancelBeforeStart(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := streamRecords(50)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		seen := 0
+		for range sys.ProcessStream(ctx, recordValues(recs), workers) {
+			seen++
+		}
+		// The multi-worker pool may complete a handful of in-flight
+		// records between construction and the cancel check; it must
+		// not process the whole stream.
+		if seen >= len(recs) {
+			t.Fatalf("workers=%d: pre-cancelled stream yielded %d records", workers, seen)
+		}
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestProcessStreamEarlyBreakReleasesGoroutines: the consumer breaking
+// out mid-stream (no context involved) releases the whole pool. This is
+// the early-break half of the leak matrix; the cancel half is above.
+func TestProcessStreamEarlyBreakReleasesGoroutines(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := streamRecords(200)
+	baseline := runtime.NumGoroutine()
+
+	for _, workers := range []int{2, 4, 16} {
+		for _, breakAt := range []int{1, 3, 100} {
+			seen := 0
+			for range sys.ProcessStream(context.Background(), recordValues(recs), workers) {
+				seen++
+				if seen == breakAt {
+					break
+				}
+			}
+			if seen != breakAt {
+				t.Fatalf("workers=%d: consumed %d, want %d", workers, seen, breakAt)
+			}
+		}
+	}
+	waitGoroutines(t, baseline)
+}

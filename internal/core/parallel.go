@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"iter"
 	"runtime"
 	"slices"
@@ -17,9 +18,14 @@ import (
 // are stateless after construction (the ID3 tree is read-only once
 // trained), so workers share the System.
 //
-// workers <= 0 selects GOMAXPROCS. Stopping iteration early cancels the
-// in-flight work and releases every goroutine.
-func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Seq2[int, Extraction] {
+// workers <= 0 selects GOMAXPROCS. Stopping iteration early — by the
+// consumer breaking out of the loop or by cancelling ctx — releases
+// every goroutine: the feeder stops pulling from in, idle workers exit,
+// and busy workers exit as soon as their current record finishes (one
+// record's extraction is the cancellation latency, the pipeline never
+// interrupts mid-parse). After ctx is cancelled no further extraction
+// is yielded.
+func (s *System) ProcessStream(ctx context.Context, in iter.Seq[records.Record], workers int) iter.Seq2[int, Extraction] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -27,6 +33,9 @@ func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Se
 		if workers == 1 {
 			i := 0
 			for r := range in {
+				if ctx.Err() != nil {
+					return
+				}
 				if !yield(i, s.Process(r.Text)) {
 					return
 				}
@@ -44,6 +53,7 @@ func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Se
 			ex  Extraction
 		}
 		stop := make(chan struct{})
+		done := ctx.Done()
 		jobs := make(chan job, workers)
 		results := make(chan result, workers)
 		// tickets bounds the records in flight — queued, being processed,
@@ -63,11 +73,15 @@ func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Se
 				case tickets <- struct{}{}:
 				case <-stop:
 					return
+				case <-done:
+					return
 				}
 				select {
 				case jobs <- job{seq: seq, text: r.Text}:
 					seq++
 				case <-stop:
+					return
+				case <-done:
 					return
 				}
 			}
@@ -80,8 +94,15 @@ func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Se
 				defer wg.Done()
 				for j := range jobs {
 					select {
+					case <-done:
+						return
+					default:
+					}
+					select {
 					case results <- result{seq: j.seq, ex: s.Process(j.text)}:
 					case <-stop:
+						return
+					case <-done:
 						return
 					}
 				}
@@ -99,6 +120,9 @@ func (s *System) ProcessStream(in iter.Seq[records.Record], workers int) iter.Se
 		pending := make(map[int]Extraction, 2*workers)
 		next := 0
 		for r := range results {
+			if ctx.Err() != nil {
+				return
+			}
 			pending[r.seq] = r.ex
 			for {
 				ex, ok := pending[next]
@@ -129,7 +153,7 @@ func (s *System) ProcessAll(recs []records.Record, workers int) []Extraction {
 		workers = 1 // empty corpus: take the sequential no-op path
 	}
 	out := make([]Extraction, len(recs))
-	for i, ex := range s.ProcessStream(slices.Values(recs), workers) {
+	for i, ex := range s.ProcessStream(context.Background(), slices.Values(recs), workers) {
 		out[i] = ex
 	}
 	return out

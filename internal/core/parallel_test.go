@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"slices"
 	"sync"
@@ -37,7 +38,7 @@ func TestProcessStreamPreservesOrder(t *testing.T) {
 	}
 	want := sys.ProcessAll(recs, 1)
 	next := 0
-	for i, ex := range sys.ProcessStream(slices.Values(recs), 7) {
+	for i, ex := range sys.ProcessStream(context.Background(), slices.Values(recs), 7) {
 		if i != next {
 			t.Fatalf("yielded index %d, want %d", i, next)
 		}
@@ -61,7 +62,7 @@ func TestProcessStreamEarlyStop(t *testing.T) {
 	// -race run and the test's own completion guard against leaks and
 	// deadlocks here.
 	seen := 0
-	for range sys.ProcessStream(slices.Values(recs), 4) {
+	for range sys.ProcessStream(context.Background(), slices.Values(recs), 4) {
 		seen++
 		if seen == 3 {
 			break
@@ -79,7 +80,7 @@ func TestProcessStreamMoreWorkersThanRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := 0
-	for i := range sys.ProcessStream(slices.Values(recs), 64) {
+	for i := range sys.ProcessStream(context.Background(), slices.Values(recs), 64) {
 		if i != got {
 			t.Fatalf("index %d out of order (want %d)", i, got)
 		}

@@ -105,11 +105,16 @@ func (s *System) TrainSmoking(recs []records.Record) {
 	s.Smoking = TrainCategorical(SmokingField(), recs)
 }
 
+// ResultTable names the persisted extracted-information table, so
+// monitoring code (the medexd stats endpoint) can reach it without
+// hard-coding the string.
+const ResultTable = "extracted"
+
 // resultSchema is the persisted extracted-information table: one row per
 // (patient, attribute, value), the paper's Access database.
 func resultSchema() store.Schema {
 	return store.Schema{
-		Name: "extracted",
+		Name: ResultTable,
 		Columns: []store.Column{
 			{Name: "id", Type: store.TInt},
 			{Name: "patient", Type: store.TInt},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -42,7 +43,7 @@ func TestProcessStreamProperty(t *testing.T) {
 		}
 
 		seen := 0
-		for i, ex := range sys.ProcessStream(recordValues(recs), workers) {
+		for i, ex := range sys.ProcessStream(context.Background(), recordValues(recs), workers) {
 			if i != seen {
 				t.Fatalf("trial %d (n=%d w=%d): yielded index %d, want %d",
 					trial, n, workers, i, seen)

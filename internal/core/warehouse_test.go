@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"sync"
 	"testing"
@@ -157,7 +158,7 @@ func TestWarehouseConcurrentWithIngest(t *testing.T) {
 	go func() {
 		defer close(done)
 		batch := make([]Extraction, 0, 4)
-		for _, ex := range sys.ProcessStream(slices.Values(recs), 2) {
+		for _, ex := range sys.ProcessStream(context.Background(), slices.Values(recs), 2) {
 			batch = append(batch, ex)
 			if len(batch) == cap(batch) {
 				if _, err := PersistAll(db, batch); err != nil {

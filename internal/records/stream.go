@@ -1,0 +1,54 @@
+package records
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+)
+
+// ErrEmptyRecord reports a streamed record with no text: there is
+// nothing to extract from it, and silently acknowledging it would
+// mislead the producer.
+var ErrEmptyRecord = errors.New("records: record has empty text")
+
+// DecodeStream incrementally decodes a stream of JSON records — one
+// object per line (NDJSON) or any whitespace-separated concatenation —
+// yielding each record as soon as it parses, so a long-lived server can
+// feed a request body straight into the extraction pipeline without
+// buffering the whole payload.
+//
+// The sequence yields (record, nil) for each decoded record and ends
+// either at EOF or with a single terminal (zero Record, err) pair: a
+// malformed document, an empty-text record, or ctx cancellation between
+// records. Consumers must stop on the first non-nil error; nothing
+// after a decode error is trustworthy, so the remainder of the stream
+// is abandoned rather than resynchronized.
+func DecodeStream(ctx context.Context, r io.Reader) iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		dec := json.NewDecoder(r)
+		for n := 1; ; n++ {
+			if err := ctx.Err(); err != nil {
+				yield(Record{}, err)
+				return
+			}
+			var rec Record
+			if err := dec.Decode(&rec); err != nil {
+				if err == io.EOF {
+					return
+				}
+				yield(Record{}, fmt.Errorf("records: decoding record %d: %w", n, err))
+				return
+			}
+			if rec.Text == "" {
+				yield(Record{}, fmt.Errorf("record %d: %w", n, ErrEmptyRecord))
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package records
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func collect(t *testing.T, ctx context.Context, in string) ([]Record, error) {
+	t.Helper()
+	var recs []Record
+	for rec, err := range DecodeStream(ctx, strings.NewReader(in)) {
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func TestDecodeStreamNDJSON(t *testing.T) {
+	in := `{"id":1,"text":"Patient:  1\n"}` + "\n" +
+		`{"id":2,"text":"Patient:  2\n"}` + "\n"
+	recs, err := collect(t, context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("decoded %+v", recs)
+	}
+	if recs[0].Text != "Patient:  1\n" {
+		t.Fatalf("text round-trip: %q", recs[0].Text)
+	}
+}
+
+func TestDecodeStreamEmptyInput(t *testing.T) {
+	recs, err := collect(t, context.Background(), "")
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestDecodeStreamMalformed(t *testing.T) {
+	in := `{"id":1,"text":"a"}` + "\n" + `{"id":2,`
+	recs, err := collect(t, context.Background(), in)
+	if err == nil {
+		t.Fatal("truncated document decoded clean")
+	}
+	if !strings.Contains(err.Error(), "record 2") {
+		t.Fatalf("error does not locate the bad record: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("yielded %d records before the error, want 1", len(recs))
+	}
+}
+
+func TestDecodeStreamEmptyText(t *testing.T) {
+	in := `{"id":1,"text":"a"}` + "\n" + `{"id":2}`
+	_, err := collect(t, context.Background(), in)
+	if !errors.Is(err, ErrEmptyRecord) {
+		t.Fatalf("err = %v, want ErrEmptyRecord", err)
+	}
+}
+
+func TestDecodeStreamCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := collect(t, ctx, `{"id":1,"text":"a"}`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDecodeStreamEarlyBreak(t *testing.T) {
+	in := `{"id":1,"text":"a"} {"id":2,"text":"b"} {"id":3,"text":"c"}`
+	n := 0
+	for _, err := range DecodeStream(context.Background(), strings.NewReader(in)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("consumed %d, want 2", n)
+	}
+}

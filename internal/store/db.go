@@ -321,6 +321,30 @@ func (db *DB) RecoveredWithLoss() bool {
 	return false
 }
 
+// Health reports the engine's degradation state: which shards latched
+// the failed-compaction write refusal, and whether recovery dropped
+// data. It reads the latches under the database lock, so it is safe
+// concurrently with compaction and writes.
+func (db *DB) Health() Health {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var h Health
+	for _, sh := range db.shards {
+		if sh.failed != nil {
+			h.ReadOnly = true
+			h.FailedShards = append(h.FailedShards, sh.id)
+			if h.Reason == "" {
+				h.Reason = sh.failed.Error()
+			}
+		}
+		if sh.dropped > 0 || sh.segLost {
+			h.RecoveredWithLoss = true
+		}
+		h.DroppedRecords += sh.dropped
+	}
+	return h
+}
+
 // Close flushes and closes every shard's log.
 func (db *DB) Close() error {
 	db.mu.Lock()

@@ -1,5 +1,10 @@
 package store
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Engine is the storage-engine abstraction the layers above the store
 // program against: a durable (or in-memory) set of tables with
 // transactional secondary indexes, compaction and crash recovery. *DB
@@ -28,8 +33,58 @@ type Engine interface {
 	// RecoveredWithLoss reports whether opening truncated a corrupt
 	// WAL tail on any shard.
 	RecoveredWithLoss() bool
+	// Health reports the engine's degradation state — the
+	// failed-compaction write latch and recovery losses — so callers
+	// (daemons, CLIs) can act on it up front instead of discovering a
+	// dead shard via the first failed write.
+	Health() Health
 	// Close flushes and closes the engine.
 	Close() error
 }
 
 var _ Engine = (*DB)(nil)
+
+// Health is an engine's degradation report. The zero value means fully
+// healthy: every shard accepts writes and recovery lost nothing.
+type Health struct {
+	// ReadOnly reports that at least one shard's durable log was lost
+	// to a failed compaction swap: the shard (and so the engine)
+	// refuses writes until the database is reopened, but reads keep
+	// serving the committed state.
+	ReadOnly bool
+	// FailedShards lists the shard ids refusing writes, in order.
+	FailedShards []int
+	// Reason is the first failed shard's latched error, "" when none.
+	Reason string
+	// RecoveredWithLoss reports that open truncated a corrupt WAL tail
+	// or fell back to WAL-only recovery after an unreadable segment
+	// manifest on some shard. Writes still work; data from the torn
+	// tail is gone.
+	RecoveredWithLoss bool
+	// DroppedRecords counts WAL records dropped during recovery,
+	// summed over shards.
+	DroppedRecords int
+}
+
+// Ok reports whether the engine is fully healthy — writable everywhere
+// and recovered without loss.
+func (h Health) Ok() bool {
+	return !h.ReadOnly && !h.RecoveredWithLoss
+}
+
+// String renders the health state for logs and plan lines.
+func (h Health) String() string {
+	if h.Ok() {
+		return "ok"
+	}
+	var parts []string
+	if h.ReadOnly {
+		parts = append(parts, fmt.Sprintf("read-only (%d shard(s) refusing writes: %s)",
+			len(h.FailedShards), h.Reason))
+	}
+	if h.RecoveredWithLoss {
+		parts = append(parts, fmt.Sprintf("recovered with loss (%d record(s) dropped)",
+			h.DroppedRecords))
+	}
+	return strings.Join(parts, "; ")
+}

@@ -111,11 +111,15 @@ func (ts *tableShard) lookupRange(col string, lo, hi Value) ([]Row, error) {
 
 // Stats summarizes a table for monitoring.
 type Stats struct {
-	Rows       int
-	Shards     int
-	Segments   int // segment files currently serving reads
-	Indexes    int
-	IndexNames []string
+	Rows     int
+	Shards   int
+	Segments int // segment files currently serving reads
+	// FailedShards counts shards refusing writes behind the
+	// failed-compaction latch (see Engine.Health); non-zero means the
+	// table is effectively read-only until the database is reopened.
+	FailedShards int
+	Indexes      int
+	IndexNames   []string
 }
 
 // Stats returns the table's live-row count and segment count (summed
@@ -127,6 +131,9 @@ func (t *Table) Stats() Stats {
 		ts.mu.RLock()
 		s.Rows += ts.count
 		s.Segments += len(ts.segs)
+		if ts.shard != nil && ts.shard.failed != nil {
+			s.FailedShards++
+		}
 		ts.mu.RUnlock()
 	}
 	ts := t.shards[0]
