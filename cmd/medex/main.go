@@ -167,7 +167,8 @@ func runExtract(args []string) error {
 	if *dbPath != "" {
 		fmt.Printf(" to %s", *dbPath)
 		if *compact {
-			fmt.Printf(" (compacted to segments)")
+			cs := db.CompactionStats()
+			fmt.Printf(" (compacted to segments: %d rows, %d bytes rewritten)", cs.RowsRewritten, cs.BytesRewritten)
 		}
 	}
 	fmt.Println()

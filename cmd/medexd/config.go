@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // config is the validated daemon configuration. Every limit here is a
@@ -26,6 +27,11 @@ type config struct {
 	MaxBody    int64
 	MaxBatch   int
 	NoSync     bool
+
+	CompactMemRows  int
+	CompactWALBytes int64
+	CompactFanout   int
+	CompactOff      bool
 
 	IngestTimeout time.Duration
 	QueryTimeout  time.Duration
@@ -50,6 +56,10 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	fs.Int64Var(&cfg.MaxBody, "max-body", 8<<20, "max ingest request body in bytes (larger requests get 413)")
 	fs.IntVar(&cfg.MaxBatch, "max-batch", 512, "max records per ingest request (larger batches get 413)")
 	fs.BoolVar(&cfg.NoSync, "no-sync", false, "skip the fsync before acknowledging a batch (survives process crash, not machine crash)")
+	fs.IntVar(&cfg.CompactMemRows, "compact-mem-rows", store.DefaultCompactMemRows, "rows logged on a shard since its last compaction before the background compactor wakes")
+	fs.Int64Var(&cfg.CompactWALBytes, "compact-wal-bytes", store.DefaultCompactWALBytes, "shard WAL size that wakes the background compactor")
+	fs.IntVar(&cfg.CompactFanout, "compact-fanout", store.DefaultCompactFanout, "segment runs per table before a background compaction escalates from a minor fold to a major merge")
+	fs.BoolVar(&cfg.CompactOff, "compact-off", false, "disable background compaction (explicit medex extract -compact still works)")
 	fs.DurationVar(&cfg.IngestTimeout, "ingest-timeout", 30*time.Second, "per-request bound on reading, extracting and persisting one ingest batch; also the server read timeout that cuts off stalled clients")
 	fs.DurationVar(&cfg.QueryTimeout, "query-timeout", 10*time.Second, "per-request bound on query endpoints")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown deadline for draining in-flight requests and the ingest queue")
@@ -82,6 +92,12 @@ func (c config) validate() error {
 		}
 		return nil
 	}
+	walBytes := func() error {
+		if c.CompactWALBytes <= 0 {
+			return fmt.Errorf("-compact-wal-bytes must be positive (got %d)", c.CompactWALBytes)
+		}
+		return nil
+	}
 	if err := cliutil.FirstErr(
 		cliutil.DBPath("-db", c.DBPath),
 		shardCheck(),
@@ -90,6 +106,9 @@ func (c config) validate() error {
 		cliutil.Positive("-max-group", c.MaxGroup),
 		intBody(),
 		cliutil.Positive("-max-batch", c.MaxBatch),
+		cliutil.Positive("-compact-mem-rows", c.CompactMemRows),
+		walBytes(),
+		cliutil.Positive("-compact-fanout", c.CompactFanout),
 		cliutil.PositiveDuration("-ingest-timeout", c.IngestTimeout),
 		cliutil.PositiveDuration("-query-timeout", c.QueryTimeout),
 		cliutil.PositiveDuration("-drain-timeout", c.DrainTimeout),
@@ -97,6 +116,16 @@ func (c config) validate() error {
 		return fmt.Errorf("medexd: %w", err)
 	}
 	return nil
+}
+
+// compactionPolicy maps the -compact-* flags to the store's policy.
+func (c config) compactionPolicy() store.CompactionPolicy {
+	return store.CompactionPolicy{
+		MemRows:  c.CompactMemRows,
+		WALBytes: c.CompactWALBytes,
+		Fanout:   c.CompactFanout,
+		Disabled: c.CompactOff,
+	}
 }
 
 func parseStrategy(name string) (core.Strategy, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -220,6 +221,77 @@ func TestCrashAckedBatchesSurviveKill(t *testing.T) {
 	}
 }
 
+// compactionRuns reads a live daemon's compaction counters from
+// /v1/stats. A transport or decode error returns zeros — the daemon
+// may already be dying, and the caller only uses the counters to log
+// and to prove the matrix exercised compaction at least once.
+func compactionRuns(d *daemon) (minor, major int64) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + d.addr + "/v1/stats")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Compaction struct {
+			MinorRuns int64 `json:"minorRuns"`
+			MajorRuns int64 `json:"majorRuns"`
+		} `json:"compaction"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0
+	}
+	return st.Compaction.MinorRuns, st.Compaction.MajorRuns
+}
+
+// TestCrashDuringBackgroundCompaction extends the fault-injection
+// matrix to the auto-compactor: with thresholds aggressive enough that
+// minor folds and fan-out-escalated major merges run continuously
+// under ingest, SIGKILL at randomized points lands inside build and
+// commit windows of both compaction modes. The durability contract is
+// unchanged — reopen loses no acknowledged batch and the patient index
+// agrees with the table.
+func TestCrashDuringBackgroundCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault injection is slow")
+	}
+	rng := rand.New(rand.NewSource(11))
+	flags := []string{"-compact-mem-rows", "20", "-compact-wal-bytes", "8192", "-compact-fanout", "2"}
+	totalAcked, roundsCompacted := 0, 0
+	for round := range 4 {
+		dbPath := filepath.Join(t.TempDir(), "wh.db")
+		d := startDaemon(t, dbPath, flags...)
+		stop := make(chan struct{})
+		ackedc := make(chan []int64, 1)
+		go func() {
+			ackedc <- produceAcked(d, 4, stop, int64(round+1)*20_000_000)
+		}()
+
+		delay := 50*time.Millisecond + time.Duration(rng.Intn(400))*time.Millisecond
+		time.Sleep(delay)
+		minor, major := compactionRuns(d)
+		if minor+major > 0 {
+			roundsCompacted++
+		}
+		if err := d.cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		d.cmd.Wait()
+		acked := <-ackedc
+		totalAcked += len(acked)
+		t.Logf("round %d: killed after %s with %d minor / %d major compactions done, %d acknowledged batches",
+			round, delay, minor, major, len(acked))
+		verifyAcked(t, dbPath, acked)
+	}
+	if totalAcked == 0 {
+		t.Fatal("no round acknowledged any batch; the matrix proved nothing")
+	}
+	if roundsCompacted == 0 {
+		t.Fatal("no round completed a background compaction before the kill; thresholds too lax for the matrix")
+	}
+}
+
 // TestGracefulShutdownDrains: SIGTERM mid-ingest must drain in-flight
 // batches, close cleanly (exit 0), and lose nothing acknowledged.
 func TestGracefulShutdownDrains(t *testing.T) {
@@ -261,6 +333,9 @@ func TestDaemonBadFlagsExitNonZero(t *testing.T) {
 		{"bad strategy", []string{"-db", filepath.Join(t.TempDir(), "x.db"), "-strategy", "psychic"}, `unknown strategy "psychic"`},
 		{"huge shards", []string{"-db", filepath.Join(t.TempDir(), "x.db"), "-shards", "9999"}, "-shards must be at most 1024"},
 		{"zero drain timeout", []string{"-db", filepath.Join(t.TempDir(), "x.db"), "-drain-timeout", "0s"}, "-drain-timeout must be a positive duration"},
+		{"zero compact trigger", []string{"-db", filepath.Join(t.TempDir(), "x.db"), "-compact-mem-rows", "0"}, "-compact-mem-rows must be positive"},
+		{"negative compact wal bytes", []string{"-db", filepath.Join(t.TempDir(), "x.db"), "-compact-wal-bytes", "-1"}, "-compact-wal-bytes must be positive"},
+		{"zero compact fanout", []string{"-db", filepath.Join(t.TempDir(), "x.db"), "-compact-fanout", "0"}, "-compact-fanout must be positive"},
 	}
 	for _, tc := range cases {
 		out, err := exec.Command(daemonBin, tc.args...).CombinedOutput()

@@ -17,7 +17,13 @@
 // Robustness contract: a 202-acknowledged batch has been fsynced and
 // survives a crash at any later instant; overload answers 429/503 with
 // Retry-After instead of buffering; SIGTERM drains in-flight requests
-// and the ingest queue within -drain-timeout, then closes the engine.
+// and the ingest queue within -drain-timeout, then closes the engine —
+// waiting for any in-flight background compaction to reach its safe
+// point first. Background compaction (on by default, tuned or disabled
+// with the -compact-* flags) folds each shard's memtable into segment
+// files off the write path once the -compact-mem-rows / -compact-wal-
+// bytes thresholds trip, escalating to a full merge at -compact-fanout
+// runs per table.
 package main
 
 import (
@@ -57,7 +63,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	db, err := store.OpenSharded(cfg.DBPath, cfg.Shards)
+	db, err := store.OpenShardedWithPolicy(cfg.DBPath, cfg.Shards, cfg.compactionPolicy())
 	if err != nil {
 		return fmt.Errorf("opening %s: %w", cfg.DBPath, err)
 	}

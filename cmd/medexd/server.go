@@ -367,8 +367,8 @@ func healthFrom(h store.Health) healthJSON {
 	}
 }
 
-// handleStats is the monitoring endpoint: engine health, table and
-// ingest counters, log size.
+// handleStats is the monitoring endpoint: engine health, table,
+// ingest and background-compaction counters, log size.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	tbl, err := s.db.Table(core.ResultTable)
 	var tstats store.Stats
@@ -376,6 +376,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		tstats = tbl.Stats()
 	}
 	ist := s.ing.Stats()
+	cst := s.db.CompactionStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime":   time.Since(s.started).Round(time.Millisecond).String(),
 		"draining": s.draining.Load(),
@@ -395,6 +396,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rejected":  ist.Rejected,
 			"queued":    ist.Queued,
 			"peakQueue": ist.PeakQueue,
+		},
+		"compaction": map[string]any{
+			"minorRuns":      cst.MinorRuns,
+			"majorRuns":      cst.MajorRuns,
+			"rowsRewritten":  cst.RowsRewritten,
+			"bytesRewritten": cst.BytesRewritten,
+			"backlog":        cst.Backlog,
+			"lastError":      cst.LastError,
 		},
 	})
 }

@@ -40,6 +40,13 @@ type DB struct {
 	tables  map[string]*Table
 	path    string
 	sharded bool // directory layout (true) vs single-file (false)
+
+	// Background compaction (see compactor.go). stopCh is nil when the
+	// compactor was never started.
+	pol      CompactionPolicy
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	compWG   sync.WaitGroup
 }
 
 // shardWALName is the WAL file inside each shard subdirectory.
@@ -91,6 +98,26 @@ func OpenSharded(path string, n int) (*DB, error) {
 	if err := db.buildRouters(); err != nil {
 		db.Close()
 		return nil, err
+	}
+	return db, nil
+}
+
+// OpenShardedWithPolicy opens the database like OpenSharded and, unless
+// the policy disables it, starts the background compactor: one
+// goroutine per shard, woken when the shard's post-compaction write
+// volume or WAL size crosses the policy thresholds, folding the
+// memtable into a new small segment off the write path (and escalating
+// to a major merge when a table's segment stack hits the fan-out
+// bound). Close waits for an in-flight background compaction to finish
+// before closing the shards.
+func OpenShardedWithPolicy(path string, n int, pol CompactionPolicy) (*DB, error) {
+	db, err := OpenSharded(path, n)
+	if err != nil {
+		return nil, err
+	}
+	db.pol = pol.withDefaults()
+	if !pol.Disabled {
+		db.startCompactors()
 	}
 	return db, nil
 }
@@ -330,11 +357,11 @@ func (db *DB) Health() Health {
 	defer db.mu.RUnlock()
 	var h Health
 	for _, sh := range db.shards {
-		if sh.failed != nil {
+		if failed := sh.failedErr(); failed != nil {
 			h.ReadOnly = true
 			h.FailedShards = append(h.FailedShards, sh.id)
 			if h.Reason == "" {
-				h.Reason = sh.failed.Error()
+				h.Reason = failed.Error()
 			}
 		}
 		if sh.dropped > 0 || sh.segLost {
@@ -345,8 +372,12 @@ func (db *DB) Health() Health {
 	return h
 }
 
-// Close flushes and closes every shard's log.
+// Close flushes and closes every shard's log. With background
+// compaction enabled it first stops the compactors, waiting for any
+// in-flight compaction to complete — the safe point the daemon's
+// SIGTERM drain relies on.
 func (db *DB) Close() error {
+	db.stopCompactors()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	errs := make([]error, len(db.shards))

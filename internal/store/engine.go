@@ -26,8 +26,16 @@ type Engine interface {
 	Shards() int
 	// Sync flushes buffered log records to stable storage.
 	Sync() error
-	// Compact rewrites the write-ahead log(s) down to the live state.
+	// Compact runs a major compaction: every table's live state folds
+	// into one segment per shard and the write-ahead log(s) truncate
+	// to schema/index records plus post-capture residue. Background
+	// minor compactions (see OpenShardedWithPolicy) happen on their
+	// own; Compact remains the explicit full merge.
 	Compact() error
+	// CompactionStats reports compaction activity — minor/major run
+	// counts, rows/bytes rewritten, trigger backlog and the last
+	// compaction error — summed over shards.
+	CompactionStats() CompactionStats
 	// LogSize returns the total bytes of write-ahead log.
 	LogSize() int64
 	// RecoveredWithLoss reports whether opening truncated a corrupt

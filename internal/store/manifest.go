@@ -11,12 +11,16 @@ import (
 )
 
 // The segment manifest is the commit record of a compaction: it lists,
-// per table, the segment file holding that table's compacted rows. It
-// is replaced atomically (write temp, fsync, rename, fsync dir), so a
-// crash leaves either the old or the new manifest intact; the only way
-// to observe a torn manifest is outside-the-protocol corruption, and
-// then the store falls back to replaying whatever the WAL holds,
-// reporting the loss rather than failing the open.
+// per table, the segment files holding that table's compacted rows. A
+// table may appear more than once — its segments in oldest → newest
+// order, as minor compactions append new runs without rewriting the
+// old ones; a major compaction collapses the table back to a single
+// entry. The manifest is replaced atomically (write temp, fsync,
+// rename, fsync dir), so a crash leaves either the old or the new
+// manifest intact; the only way to observe a torn manifest is
+// outside-the-protocol corruption, and then the store falls back to
+// replaying whatever the WAL holds, reporting the loss rather than
+// failing the open.
 //
 // Format:
 //
@@ -76,7 +80,7 @@ func decodeManifest(buf []byte) (gen uint64, entries []manifestEntry, err error)
 		return 0, nil, ErrCorrupt
 	}
 	rest = rest[k:]
-	seen := make(map[string]bool, n)
+	seenFile := make(map[string]bool, n)
 	for i := uint64(0); i < n; i++ {
 		var table, file string
 		table, rest, err = readString(rest)
@@ -87,12 +91,13 @@ func decodeManifest(buf []byte) (gen uint64, entries []manifestEntry, err error)
 		if err != nil {
 			return 0, nil, err
 		}
-		// A file name that escapes the segments directory or repeats a
-		// table is corruption, not a request.
-		if table == "" || file == "" || file != filepath.Base(file) || seen[table] {
+		// A file name that escapes the segments directory or appears
+		// twice is corruption, not a request. A repeated *table* is the
+		// normal multi-segment case (oldest → newest runs).
+		if table == "" || file == "" || file != filepath.Base(file) || seenFile[file] {
 			return 0, nil, ErrCorrupt
 		}
-		seen[table] = true
+		seenFile[file] = true
 		entries = append(entries, manifestEntry{table: table, file: file})
 	}
 	if len(rest) != 0 {
@@ -150,16 +155,26 @@ func segFileName(gen uint64, ti int) string {
 	return fmt.Sprintf("seg-%06d-%03d.seg", gen, ti)
 }
 
+// pendingTable is one table's segment state between open and the
+// replay of its create record: its segments in oldest → newest order
+// and the number of distinct live keys they merge to (newer runs
+// shadow older ones, so summing nRows would overcount).
+type pendingTable struct {
+	segs []*segment
+	live int
+}
+
 // loadShardSegments reads a shard's segment state from segsDir.
 //
-// Returns the per-table open segments, the manifest generation, and
-// whether anything was lost (a torn manifest, a missing or corrupt
-// segment file): on loss the shard falls back to whatever its WAL
-// replays — every opened segment is closed first, so the fallback path
-// leaks no descriptors. A missing directory or missing manifest is the
-// normal pre-first-compaction state, not loss. Stray files (crashed
+// Returns the per-table open segments (oldest → newest, with their
+// merged live-row count), the manifest generation, and whether anything
+// was lost (a torn manifest, a missing or corrupt segment file): on
+// loss the shard falls back to whatever its WAL replays — every opened
+// segment is closed first, so the fallback path leaks no descriptors.
+// A missing directory or missing manifest is the normal
+// pre-first-compaction state, not loss. Stray files (crashed
 // compaction temps, segments no longer in the manifest) are removed.
-func loadShardSegments(segsDir string) (segs map[string]*segment, gen uint64, lost bool, err error) {
+func loadShardSegments(segsDir string) (segs map[string]*pendingTable, gen uint64, lost bool, err error) {
 	raw, rerr := os.ReadFile(filepath.Join(segsDir, manifestName))
 	if rerr != nil {
 		if os.IsNotExist(rerr) {
@@ -178,11 +193,13 @@ func loadShardSegments(segsDir string) (segs map[string]*segment, gen uint64, lo
 		// manifest supersedes them and removes them as strays.
 		return nil, 0, true, nil
 	}
-	segs = make(map[string]*segment, len(entries))
+	segs = make(map[string]*pendingTable, len(entries))
 	keep := make(map[string]bool, len(entries))
 	closeAll := func() {
-		for _, sg := range segs {
-			sg.unref()
+		for _, pt := range segs {
+			for _, sg := range pt.segs {
+				sg.unref()
+			}
 		}
 	}
 	for _, e := range entries {
@@ -194,16 +211,43 @@ func loadShardSegments(segsDir string) (segs map[string]*segment, gen uint64, lo
 			closeAll()
 			return nil, gen, true, nil
 		}
-		if sg.schema.Name != e.table {
+		pt := segs[e.table]
+		if pt == nil {
+			pt = &pendingTable{}
+			segs[e.table] = pt
+		}
+		if sg.schema.Name != e.table ||
+			(len(pt.segs) > 0 && !schemaEqual(pt.segs[0].schema, sg.schema)) {
 			sg.unref()
 			closeAll()
 			return nil, gen, true, nil
 		}
-		segs[e.table] = sg
+		pt.segs = append(pt.segs, sg)
 		keep[e.file] = true
+	}
+	for _, pt := range segs {
+		live, cerr := segsLiveCount(pt.segs)
+		if cerr != nil {
+			closeAll()
+			return nil, gen, true, nil
+		}
+		pt.live = live
 	}
 	removeStraySegFiles(segsDir, keep)
 	return segs, gen, false, nil
+}
+
+// segsLiveCount counts the distinct keys of a merged (newest-wins)
+// segment stack. One segment answers from its footer without touching
+// blocks; a stack is the snapshot merge with an empty memtable.
+func segsLiveCount(segs []*segment) (int, error) {
+	if len(segs) == 1 {
+		return segs[0].nRows, nil
+	}
+	ss := shardSnap{segs: segs}
+	n := 0
+	err := ss.iterate(nil, nil, nil, func(Row) bool { n++; return true })
+	return n, err
 }
 
 // removeStraySegFiles deletes files in segsDir that are neither the
@@ -225,12 +269,9 @@ func removeStraySegFiles(segsDir string, keep map[string]bool) {
 	}
 }
 
-// sortedManifestEntries renders a deterministic manifest ordering.
-func sortedManifestEntries(m map[string]string) []manifestEntry {
-	entries := make([]manifestEntry, 0, len(m))
-	for table, file := range m {
-		entries = append(entries, manifestEntry{table: table, file: file})
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].table < entries[j].table })
-	return entries
+// sortManifestEntries orders entries deterministically: by table name,
+// preserving each table's oldest → newest run order (the order entries
+// were appended in).
+func sortManifestEntries(entries []manifestEntry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].table < entries[j].table })
 }

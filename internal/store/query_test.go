@@ -347,18 +347,6 @@ func checkShardIndexConsistent(t *testing.T, ts *tableShard) {
 	}
 }
 
-func rowsEqual(a, b Row) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if !a[i].Equal(b[i]) {
-			return false
-		}
-	}
-	return true
-}
-
 // benchTable builds a large attribute table, optionally indexed.
 func benchTable(b *testing.B, n int, indexed bool) *Table {
 	b.Helper()

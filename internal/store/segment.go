@@ -484,6 +484,11 @@ func (w *segmentWriter) flushBlock() error {
 	return nil
 }
 
+// testHookSegmentFinish, when non-nil, injects an error into finish
+// just before the footer write — compaction's finish-failure cleanup
+// is exercised without needing a full disk.
+var testHookSegmentFinish func(path string) error
+
 // finish flushes the last block, writes the footer and fsyncs. On any
 // error the partial file is removed and the descriptor closed.
 func (w *segmentWriter) finish() (err error) {
@@ -495,6 +500,11 @@ func (w *segmentWriter) finish() (err error) {
 	}()
 	if err = w.flushBlock(); err != nil {
 		return err
+	}
+	if testHookSegmentFinish != nil {
+		if err = testHookSegmentFinish(w.path); err != nil {
+			return err
+		}
 	}
 	schemaBytes := encodeCreateTablePayload(w.schema)
 	meta := append(append([]byte(nil), w.index...), schemaBytes...)

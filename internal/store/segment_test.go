@@ -1,9 +1,11 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"strings"
@@ -807,5 +809,32 @@ func TestSegmentErrorsLeakNoFDs(t *testing.T) {
 	}
 	if err := db.Compact(); err != nil {
 		t.Fatalf("compaction after unblocking failed: %v", err)
+	}
+
+	// Segment finish failure: the writer dies between its last data
+	// block and the footer — the window where the partial file is
+	// largest. The file and its descriptor must both go.
+	injected := errors.New("injected finish failure")
+	testHookSegmentFinish = func(string) error { return injected }
+	defer func() { testHookSegmentFinish = nil }()
+	filesBefore := segFilesOf(t, path)
+	before = openFDs(t)
+	for i := 0; i < 5; i++ {
+		if err := db.Compact(); !errors.Is(err, injected) {
+			t.Fatalf("compaction error = %v, want injected finish failure", err)
+		}
+	}
+	if after := openFDs(t); after > before {
+		t.Errorf("finish-failure path leaked fds: %d -> %d", before, after)
+	}
+	if filesAfter := segFilesOf(t, path); !reflect.DeepEqual(filesAfter, filesBefore) {
+		t.Errorf("finish failure orphaned segment files: %v -> %v", filesBefore, filesAfter)
+	}
+	if got := tblA.Len(); got != wantLen+1 {
+		t.Fatalf("failed finish changed the table: %d", got)
+	}
+	testHookSegmentFinish = nil
+	if err := db.Compact(); err != nil {
+		t.Fatalf("compaction after clearing finish hook failed: %v", err)
 	}
 }

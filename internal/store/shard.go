@@ -3,7 +3,9 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Shard is one partition of the database: its own write-ahead log file,
@@ -32,7 +34,18 @@ type Shard struct {
 	// their tables' create records; leftovers (a WAL whose create record
 	// was lost to a crash) are synthesized from the segment's own footer
 	// schema after replay.
-	pendingSegs map[string]*segment
+	pendingSegs map[string]*pendingTable
+
+	// Compaction state. compactMu serializes compactions of this shard
+	// (explicit Compact vs the background compactor); the counters below
+	// feed the auto-trigger and CompactionStats and are atomics so the
+	// hot write path and monitoring never take a compaction lock.
+	compactMu sync.Mutex
+	pol       CompactionPolicy // effective policy; zero when background off
+	wakeCh    chan struct{}    // buffered(1) compactor wake; nil = no compactor
+	pending   atomic.Int64     // rows logged since the last compaction
+	walLen    atomic.Int64     // mirror of log.len readable without logMu
+	cstats    compactionCounters
 }
 
 // openShard opens (creating if necessary) one shard's WAL and segment
@@ -42,14 +55,22 @@ type Shard struct {
 // and every opened segment are closed before returning, so an engine
 // that fails mid-open leaks no descriptors.
 func openShard(id int, path string) (*Shard, error) {
+	// A crashed compaction can leave its truncated-WAL temp beside the
+	// log. It holds nothing the committed state doesn't (schema/index
+	// records plus residue the old WAL also carries), so it is swept
+	// rather than recovered — a stale temp must never be mistaken for
+	// the live log by a later rename.
+	os.Remove(compactTempPath(path))
 	segs, gen, segLost, err := loadShardSegments(segsDirFor(path))
 	if err != nil {
 		return nil, err
 	}
 	l, err := openWAL(path)
 	if err != nil {
-		for _, sg := range segs {
-			sg.unref()
+		for _, pt := range segs {
+			for _, sg := range pt.segs {
+				sg.unref()
+			}
 		}
 		return nil, err
 	}
@@ -64,11 +85,12 @@ func openShard(id int, path string) (*Shard, error) {
 		return nil, err
 	}
 	sh.dropped = dropped
+	sh.walLen.Store(l.len)
 	// Segments whose create-table record was lost to a torn WAL:
 	// the footer schema makes the segment self-describing, so the table
 	// (and its rows) survive anyway.
-	for _, sg := range sh.pendingSegs {
-		sh.newTableShard(sg.schema)
+	for _, pt := range sh.pendingSegs {
+		sh.newTableShard(pt.segs[0].schema)
 	}
 	return sh, nil
 }
@@ -89,8 +111,10 @@ func (sh *Shard) releaseSegments() {
 		ts.segs = nil
 		ts.mu.Unlock()
 	}
-	for name, sg := range sh.pendingSegs {
-		sg.unref()
+	for name, pt := range sh.pendingSegs {
+		for _, sg := range pt.segs {
+			sg.unref()
+		}
 		delete(sh.pendingSegs, name)
 	}
 }
@@ -119,6 +143,15 @@ func (sh *Shard) sync() error {
 	return sh.log.sync()
 }
 
+// failedErr reads the failed-compaction latch under logMu — the lock
+// fail() holds when latching — so Health can be called concurrently
+// with a compaction's commit phase.
+func (sh *Shard) failedErr() error {
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
+	return sh.failed
+}
+
 // logSize returns the shard WAL's current size in bytes.
 func (sh *Shard) logSize() int64 {
 	sh.logMu.Lock()
@@ -145,7 +178,29 @@ func (sh *Shard) appendLog(payload []byte) error {
 	if err := sh.log.append(payload); err != nil {
 		return err
 	}
-	return sh.log.flush()
+	if err := sh.log.flush(); err != nil {
+		return err
+	}
+	sh.walLen.Store(sh.log.len)
+	return nil
+}
+
+// noteWrite feeds the background compactor's trigger: rows logged since
+// the last compaction, plus the WAL-size mirror. When either crosses
+// the policy threshold a wake token is posted (non-blocking — the
+// channel holds one token, and the compactor re-checks after each run,
+// so a full channel never loses a trigger).
+func (sh *Shard) noteWrite(rows int) {
+	if sh.wakeCh == nil {
+		return
+	}
+	p := sh.pending.Add(int64(rows))
+	if p >= int64(sh.pol.MemRows) || sh.walLen.Load() >= sh.pol.WALBytes {
+		select {
+		case sh.wakeCh <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // newTableShard creates (or returns the existing) state for one table on
@@ -161,16 +216,18 @@ func (sh *Shard) newTableShard(s Schema) *tableShard {
 		primary:   newBtree(),
 		secondary: make(map[string]*btree),
 	}
-	if sg, ok := sh.pendingSegs[s.Name]; ok {
+	if pt, ok := sh.pendingSegs[s.Name]; ok {
 		delete(sh.pendingSegs, s.Name)
-		if schemaEqual(sg.schema, s) {
-			ts.segs = []*segment{sg}
-			ts.count = sg.nRows
+		if schemaEqual(pt.segs[0].schema, s) {
+			ts.segs = pt.segs
+			ts.count = pt.live
 		} else {
-			// The WAL and the segment footer disagree on the schema:
+			// The WAL and the segment footers disagree on the schema:
 			// trust the WAL (it carries the later writes) and recover
-			// without the segment, reporting the loss.
-			sg.unref()
+			// without the segments, reporting the loss.
+			for _, sg := range pt.segs {
+				sg.unref()
+			}
 			sh.segLost = true
 		}
 	}
@@ -183,12 +240,20 @@ func (sh *Shard) logInsert(table string, row Row) error {
 	payload := []byte{opInsert}
 	payload = appendString(payload, table)
 	payload = encodeRow(payload, row)
-	return sh.appendLog(payload)
+	if err := sh.appendLog(payload); err != nil {
+		return err
+	}
+	sh.noteWrite(1)
+	return nil
 }
 
 // logInsertBatch appends one WAL record covering the whole row batch.
 func (sh *Shard) logInsertBatch(table string, rows []Row) error {
-	return sh.appendLog(encodeBatchPayload(table, rows))
+	if err := sh.appendLog(encodeBatchPayload(table, rows)); err != nil {
+		return err
+	}
+	sh.noteWrite(len(rows))
+	return nil
 }
 
 // logDelete appends a delete record for the table.
@@ -196,7 +261,11 @@ func (sh *Shard) logDelete(table string, pk Value) error {
 	payload := []byte{opDelete}
 	payload = appendString(payload, table)
 	payload = encodeRow(payload, Row{pk})
-	return sh.appendLog(payload)
+	if err := sh.appendLog(payload); err != nil {
+		return err
+	}
+	sh.noteWrite(1)
+	return nil
 }
 
 // logCreateIndex appends a create-index record for the table, making the

@@ -60,9 +60,11 @@ type Table struct {
 }
 
 // tombstone marks a memtable key deleted after the last compaction: it
-// masks any segment-resident row with the same key until the next
-// compaction drops both.
-type tombstone struct{}
+// masks any segment-resident row with the same key until a major
+// compaction drops both. It carries the primary-key value because the
+// key encoding is one-way: a minor compaction re-logs surviving
+// tombstones as delete records, which need the Value back.
+type tombstone struct{ pk Value }
 
 // tableShard is one shard's slice of a table: its immutable segments,
 // the memtable of post-compaction writes, the live-row count, the
@@ -389,7 +391,7 @@ func (ts *tableShard) applyDelete(key []byte, row Row) {
 		indexRemove(idx, sk, key)
 	}
 	if ts.segsMightHave(key) {
-		ts.primary.Put(key, tombstone{})
+		ts.primary.Put(key, tombstone{pk: row[ts.schema.Primary]})
 	} else {
 		ts.primary.Delete(key)
 	}
@@ -442,18 +444,20 @@ func (ts *tableShard) createIndexLocked(col string) error {
 	}
 	idx := newBtree()
 	ci := ts.schema.colIndex(col)
-	// Segment rows first (skipping keys the memtable shadows) …
-	for _, sg := range ts.segs {
-		it := newSegIter(sg, nil, nil)
-		for it.valid() {
-			key := it.key()
+	// Segment rows first, merged newest-wins across the stack (an older
+	// run's version of a key must not leak a stale posting) and skipping
+	// keys the memtable shadows …
+	if len(ts.segs) > 0 {
+		ss := shardSnap{segs: ts.segs} // borrowed refs; not released
+		err := ss.iterate(nil, nil, nil, func(row Row) bool {
+			key := encodeKey(row[ts.schema.Primary])
 			if _, shadowed := ts.primary.Get(key); !shadowed {
-				indexAdd(idx, encodeKey(it.row()[ci]), key, nil)
+				indexAdd(idx, encodeKey(row[ci]), key, nil)
 			}
-			it.next()
-		}
-		if it.err != nil {
-			return it.err
+			return true
+		})
+		if err != nil {
+			return err
 		}
 	}
 	// … then live memtable rows with their values inline.

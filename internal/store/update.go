@@ -120,6 +120,10 @@ type Stats struct {
 	FailedShards int
 	Indexes      int
 	IndexNames   []string
+	// Compaction aggregates the shards' compaction counters (compaction
+	// is per shard and covers every table on it, so these are engine-
+	// wide numbers surfaced here for one-stop monitoring).
+	Compaction CompactionStats
 }
 
 // Stats returns the table's live-row count and segment count (summed
@@ -135,6 +139,9 @@ func (t *Table) Stats() Stats {
 			s.FailedShards++
 		}
 		ts.mu.RUnlock()
+		if ts.shard != nil {
+			addShardCompactionStats(&s.Compaction, ts.shard)
+		}
 	}
 	ts := t.shards[0]
 	ts.mu.RLock()
