@@ -2,6 +2,7 @@ package main
 
 import (
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -225,4 +226,94 @@ func TestPrintExtractionDoesNotPanic(t *testing.T) {
 		PreMedical: []string{"diabetes"},
 		Smoking:    "never",
 	})
+}
+
+// TestQueryCommandReportsReadAcceleration pins the CLI surface of the
+// segment read accelerators on a multi-run stack whose id ranges
+// interleave (the sparse-id shape a WAL-loss recovery leaves behind):
+// a two-condition question must report nonzero bloom skips — newer runs
+// rejecting older runs' keys without touching a block — and nonzero
+// cache hits — the second condition resolving from blocks the first
+// already decoded.
+func TestQueryCommandReportsReadAcceleration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "extracted.db")
+	db, err := store.OpenSharded(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OpenWarehouse(db, nil); err != nil { // creates table + indexes
+		t.Fatal(err)
+	}
+	tbl, err := db.Table(core.ResultTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs, perRun = 3, 300
+	for r := 0; r < runs; r++ {
+		var batch []store.Row
+		for i := 0; i < perRun; i++ {
+			id := int64(i*runs + r)
+			patient := id % 40
+			row := store.Row{
+				store.Int(id), store.Int(patient),
+				store.Str("pulse"), store.Str("96"), store.Float(96),
+			}
+			if i%2 == 1 {
+				row = store.Row{
+					store.Int(id), store.Int(patient),
+					store.Str("smoking"), store.Str("current"), store.Float(0),
+				}
+			}
+			batch = append(batch, row)
+		}
+		if err := tbl.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runQuery([]string{"-db", path, "-attr", "pulse", "-min", "95", "-cond", "smoking=current"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	m := regexp.MustCompile(`(\d+) bloom skips, (\d+) cache hits`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("plan line reports no read-acceleration counters:\n%s", got)
+	}
+	if m[1] == "0" {
+		t.Errorf("interleaved run stack produced 0 bloom skips:\n%s", got)
+	}
+	if m[2] == "0" {
+		t.Errorf("second condition produced 0 cache hits:\n%s", got)
+	}
+	if !strings.Contains(got, "2/2 conditions indexed") {
+		t.Errorf("conditions did not resolve through the index:\n%s", got)
+	}
+}
+
+// TestParseCond pins the -cond grammar.
+func TestParseCond(t *testing.T) {
+	c, err := parseCond("smoking=current")
+	if err != nil || c.Attr != "smoking" || c.Term != "current" {
+		t.Fatalf("parseCond equality = %+v, %v", c, err)
+	}
+	c, err = parseCond("pulse>100")
+	if err != nil || c.Attr != "pulse" || c.Min == nil || *c.Min != 100 || !c.MinExcl || c.Max != nil {
+		t.Fatalf("parseCond lower bound = %+v, %v", c, err)
+	}
+	c, err = parseCond("pulse>90<120")
+	if err != nil || c.Min == nil || *c.Min != 90 || c.Max == nil || *c.Max != 120 {
+		t.Fatalf("parseCond band = %+v, %v", c, err)
+	}
+	for _, bad := range []string{"", "pulse", "=x", "pulse=", "pulse>abc", "pulse>"} {
+		if _, err := parseCond(bad); err == nil {
+			t.Errorf("parseCond(%q) accepted", bad)
+		}
+	}
 }

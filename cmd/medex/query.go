@@ -28,6 +28,15 @@ func runQuery(args []string, out io.Writer) error {
 	patient := fs.Int64("patient", 0, "print every attribute of one patient instead")
 	rows := fs.Bool("rows", false, "print matching attribute rows, not just patient ids")
 	shards := fs.Int("shards", 0, "expected shard count (0 = auto-detect the on-disk layout)")
+	var extraConds []core.Cond
+	fs.Func("cond", "additional condition (repeatable): attr=term, attr>n, attr<n or attr>n<m; patients must satisfy every condition", func(v string) error {
+		c, err := parseCond(v)
+		if err != nil {
+			return err
+		}
+		extraConds = append(extraConds, c)
+		return nil
+	})
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("query: unexpected argument %q", fs.Arg(0))
@@ -58,8 +67,12 @@ func runQuery(args []string, out io.Writer) error {
 	}
 	// The ontology only serves concept-term resolution; skip its load
 	// for patient-chart and pure numeric questions.
+	needOnt := *value != ""
+	for _, c := range extraConds {
+		needOnt = needOnt || c.Term != ""
+	}
 	var ont *ontology.Ontology
-	if *value != "" {
+	if needOnt {
 		if ont, err = ontology.New(ontology.Options{}); err != nil {
 			return err
 		}
@@ -71,6 +84,9 @@ func runQuery(args []string, out io.Writer) error {
 	}
 
 	if *patient != 0 {
+		if len(extraConds) > 0 {
+			return fmt.Errorf("query: -cond does not combine with -patient")
+		}
 		chart, err := w.Patient(*patient)
 		if err != nil {
 			return err
@@ -82,23 +98,31 @@ func runQuery(args []string, out io.Writer) error {
 		return nil
 	}
 
-	if *attr == "" {
-		return fmt.Errorf("query: need -attr (with -value and/or -min/-max) or -patient")
+	if *attr == "" && len(extraConds) == 0 {
+		return fmt.Errorf("query: need -attr (with -value and/or -min/-max), -cond or -patient")
 	}
-	cond := core.Cond{Attr: *attr, Term: *value}
-	var set []string
-	fs.Visit(func(f *flag.Flag) { set = append(set, f.Name) })
-	for _, name := range set {
-		switch name {
-		case "min":
-			cond.Min, cond.MinExcl = min, true
-		case "max":
-			cond.Max, cond.MaxExcl = max, true
+	var conds []core.Cond
+	if *attr != "" {
+		cond := core.Cond{Attr: *attr, Term: *value}
+		var set []string
+		fs.Visit(func(f *flag.Flag) { set = append(set, f.Name) })
+		for _, name := range set {
+			switch name {
+			case "min":
+				cond.Min, cond.MinExcl = min, true
+			case "max":
+				cond.Max, cond.MaxExcl = max, true
+			}
 		}
+		conds = append(conds, cond)
 	}
+	conds = append(conds, extraConds...)
 
 	if *rows {
-		matched, stats, err := w.Rows(cond)
+		if len(conds) > 1 {
+			return fmt.Errorf("query: -cond does not combine with -rows (patient-id intersection only)")
+		}
+		matched, stats, err := w.Rows(conds[0])
 		if err != nil {
 			return err
 		}
@@ -109,7 +133,7 @@ func runQuery(args []string, out io.Writer) error {
 		return nil
 	}
 
-	patients, stats, err := w.Ask(cond)
+	patients, stats, err := w.Ask(conds...)
 	if err != nil {
 		return err
 	}
@@ -132,8 +156,54 @@ func planLine(s core.QueryStats, h store.Health) string {
 	if s.Segments > 0 {
 		line += fmt.Sprintf(", %d segment(s), %d blocks pruned", s.Segments, s.BlocksPruned)
 	}
+	if s.BloomSkips > 0 || s.CacheHits > 0 || s.CacheMisses > 0 {
+		line += fmt.Sprintf(", %d bloom skips, %d cache hits, %d cache misses",
+			s.BloomSkips, s.CacheHits, s.CacheMisses)
+	}
 	if !h.Ok() {
 		line += fmt.Sprintf(", health: %s", h)
 	}
 	return line
+}
+
+// parseCond parses one -cond value. Forms: "attr=term" (equality on the
+// concept term, synonyms resolve), "attr>n" / "attr<n" (exclusive
+// numeric bounds) and "attr>n<m" (both bounds).
+func parseCond(s string) (core.Cond, error) {
+	i := strings.IndexAny(s, "=<>")
+	if i <= 0 {
+		return core.Cond{}, fmt.Errorf("bad -cond %q (want attr=term, attr>n, attr<n or attr>n<m)", s)
+	}
+	c := core.Cond{Attr: s[:i]}
+	rest := s[i:]
+	if rest[0] == '=' {
+		if len(rest) == 1 {
+			return core.Cond{}, fmt.Errorf("bad -cond %q: empty term", s)
+		}
+		c.Term = rest[1:]
+		return c, nil
+	}
+	for len(rest) > 0 {
+		op := rest[0]
+		rest = rest[1:]
+		j := strings.IndexAny(rest, "<>")
+		num := rest
+		if j >= 0 {
+			num, rest = rest[:j], rest[j:]
+		} else {
+			rest = ""
+		}
+		var v float64
+		if _, err := fmt.Sscanf(num, "%g", &v); err != nil || num == "" {
+			return core.Cond{}, fmt.Errorf("bad -cond %q: %q is not a number", s, num)
+		}
+		bound := v
+		switch op {
+		case '>':
+			c.Min, c.MinExcl = &bound, true
+		case '<':
+			c.Max, c.MaxExcl = &bound, true
+		}
+	}
+	return c, nil
 }

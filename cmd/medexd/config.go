@@ -33,6 +33,8 @@ type config struct {
 	CompactFanout   int
 	CompactOff      bool
 
+	BlockCacheMB int
+
 	IngestTimeout time.Duration
 	QueryTimeout  time.Duration
 	DrainTimeout  time.Duration
@@ -60,6 +62,7 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	fs.Int64Var(&cfg.CompactWALBytes, "compact-wal-bytes", store.DefaultCompactWALBytes, "shard WAL size that wakes the background compactor")
 	fs.IntVar(&cfg.CompactFanout, "compact-fanout", store.DefaultCompactFanout, "segment runs per table before a background compaction escalates from a minor fold to a major merge")
 	fs.BoolVar(&cfg.CompactOff, "compact-off", false, "disable background compaction (explicit medex extract -compact still works)")
+	fs.IntVar(&cfg.BlockCacheMB, "block-cache-mb", int(store.DefaultBlockCacheBytes>>20), "decoded-block cache capacity in MiB, shared across shards (0 disables caching)")
 	fs.DurationVar(&cfg.IngestTimeout, "ingest-timeout", 30*time.Second, "per-request bound on reading, extracting and persisting one ingest batch; also the server read timeout that cuts off stalled clients")
 	fs.DurationVar(&cfg.QueryTimeout, "query-timeout", 10*time.Second, "per-request bound on query endpoints")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown deadline for draining in-flight requests and the ingest queue")
@@ -109,6 +112,7 @@ func (c config) validate() error {
 		cliutil.Positive("-compact-mem-rows", c.CompactMemRows),
 		walBytes(),
 		cliutil.Positive("-compact-fanout", c.CompactFanout),
+		cliutil.NonNegative("-block-cache-mb", c.BlockCacheMB),
 		cliutil.PositiveDuration("-ingest-timeout", c.IngestTimeout),
 		cliutil.PositiveDuration("-query-timeout", c.QueryTimeout),
 		cliutil.PositiveDuration("-drain-timeout", c.DrainTimeout),

@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("opening %s: %w", cfg.DBPath, err)
 	}
+	db.SetBlockCacheCapacity(int64(cfg.BlockCacheMB) << 20)
 	if h := db.Health(); !h.Ok() {
 		// Degraded is a warning, not a startup failure: a read-only
 		// engine still serves queries, and operators need the daemon

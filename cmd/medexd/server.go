@@ -217,6 +217,9 @@ type queryStatsJSON struct {
 	RowsExamined int    `json:"rowsExamined"`
 	FullScans    int    `json:"fullScans"`
 	Shards       int    `json:"shards"`
+	BloomSkips   int    `json:"bloomSkips"`
+	CacheHits    int    `json:"cacheHits"`
+	CacheMisses  int    `json:"cacheMisses"`
 	Health       string `json:"health,omitempty"` // set when the engine is degraded
 }
 
@@ -228,6 +231,9 @@ func (s *server) statsJSON(qs core.QueryStats) queryStatsJSON {
 		RowsExamined: qs.RowsExamined,
 		FullScans:    qs.FullScans,
 		Shards:       qs.Shards,
+		BloomSkips:   qs.BloomSkips,
+		CacheHits:    qs.CacheHits,
+		CacheMisses:  qs.CacheMisses,
 	}
 	if h := s.db.Health(); !h.Ok() {
 		out.Health = h.String()
@@ -404,6 +410,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"bytesRewritten": cst.BytesRewritten,
 			"backlog":        cst.Backlog,
 			"lastError":      cst.LastError,
+		},
+		"cache": map[string]any{
+			"capBytes":   tstats.Cache.CapBytes,
+			"bytes":      tstats.Cache.Bytes,
+			"entries":    tstats.Cache.Entries,
+			"hits":       tstats.Cache.Hits,
+			"misses":     tstats.Cache.Misses,
+			"evictions":  tstats.Cache.Evictions,
+			"bloomSkips": tstats.Cache.BloomSkips,
 		},
 	})
 }

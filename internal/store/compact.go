@@ -74,6 +74,30 @@ func (db *DB) Compact() error {
 	return errors.Join(errs...)
 }
 
+// Flush runs a minor compaction of every shard, in parallel: each
+// shard's memtable is folded into one new segment run per table. It is
+// the explicit way to push recent writes into the segment layer —
+// tests and benchmarks use it to build multi-run stacks
+// deterministically without waiting for the background compactor.
+func (db *DB) Flush() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(db.shards) == 1 {
+		return db.compactShard(db.shards[0], minorCompact)
+	}
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
+	for i, sh := range db.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			errs[i] = db.compactShard(sh, minorCompact)
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // compactShard runs one compaction of one shard, serialized against
 // concurrent compactions of the same shard, and records the outcome in
 // the shard's compaction counters. Callers hold db.mu (read).
@@ -219,6 +243,9 @@ func (db *DB) compactShardLocked(sh *Shard, mode compactMode) (rowsOut, bytesOut
 		if serr != nil {
 			abort()
 			return 0, 0, serr
+		}
+		if seg != nil {
+			seg.cache = sh.cache
 		}
 		c.seg = seg
 		rowsOut += int64(seg.nRows)
@@ -425,7 +452,7 @@ func (c *tableCompact) planCommit(mode compactMode) (residueRows []Row, residueD
 			matched++
 		}
 		if !inCap && mode == majorCompact && c.seg != nil {
-			capRow, inCap, segErr = c.seg.get(key)
+			capRow, inCap, segErr = c.seg.get(key, nil)
 			if segErr != nil {
 				return false
 			}

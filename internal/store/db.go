@@ -47,6 +47,10 @@ type DB struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	compWG   sync.WaitGroup
+
+	// cache is the engine-wide decoded-block cache shared by every
+	// shard's segments (see blockcache.go).
+	cache *blockCache
 }
 
 // shardWALName is the WAL file inside each shard subdirectory.
@@ -74,6 +78,7 @@ func OpenSharded(path string, n int) (*DB, error) {
 	}
 	// Open and replay every shard in parallel: recovery time is the
 	// slowest shard, not the sum.
+	cache := newBlockCache(DefaultBlockCacheBytes)
 	shards := make([]*Shard, len(paths))
 	errs := make([]error, len(paths))
 	var wg sync.WaitGroup
@@ -81,7 +86,7 @@ func OpenSharded(path string, n int) (*DB, error) {
 		wg.Add(1)
 		go func(i int, p string) {
 			defer wg.Done()
-			shards[i], errs[i] = openShard(i, p)
+			shards[i], errs[i] = openShard(i, p, cache)
 		}(i, p)
 	}
 	wg.Wait()
@@ -94,7 +99,7 @@ func OpenSharded(path string, n int) (*DB, error) {
 		}
 		return nil, err
 	}
-	db := &DB{shards: shards, tables: make(map[string]*Table), path: path, sharded: sharded}
+	db := &DB{shards: shards, tables: make(map[string]*Table), path: path, sharded: sharded, cache: cache}
 	if err := db.buildRouters(); err != nil {
 		db.Close()
 		return nil, err
@@ -326,12 +331,25 @@ func OpenMemorySharded(n int) *DB {
 	if n < 1 {
 		n = 1
 	}
+	cache := newBlockCache(DefaultBlockCacheBytes)
 	shards := make([]*Shard, n)
 	for i := range shards {
 		shards[i] = memShard(i)
+		shards[i].cache = cache
 	}
-	return &DB{shards: shards, tables: make(map[string]*Table), sharded: n > 1}
+	return &DB{shards: shards, tables: make(map[string]*Table), sharded: n > 1, cache: cache}
 }
+
+// SetBlockCacheCapacity resizes the engine-wide decoded-block cache.
+// 0 disables caching (entries are dropped and nothing new is stored;
+// the hit/miss counters stay live). Safe at any time, including under
+// concurrent reads.
+func (db *DB) SetBlockCacheCapacity(capBytes int64) {
+	db.cache.setCapacity(capBytes)
+}
+
+// BlockCacheStats snapshots the engine-wide decoded-block cache.
+func (db *DB) BlockCacheStats() CacheStats { return db.cache.stats() }
 
 // Shards returns the engine's shard count.
 func (db *DB) Shards() int { return len(db.shards) }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -307,6 +308,20 @@ func validSegmentBytes(tb testing.TB) []byte {
 	return raw
 }
 
+// segFilterOff returns the offset of the bloom-filter region in a
+// format-2 segment image.
+func segFilterOff(tb testing.TB, raw []byte) int {
+	tb.Helper()
+	if string(raw[len(raw)-8:]) != segTailMagic2 {
+		tb.Fatalf("not a %s segment", segTailMagic2)
+	}
+	filterLen := int(binary.BigEndian.Uint32(raw[len(raw)-segTail2Len+8:]))
+	if filterLen == 0 {
+		tb.Fatal("segment has no filter region")
+	}
+	return len(raw) - segTail2Len - filterLen
+}
+
 // FuzzSegmentDecode feeds arbitrary bytes to openSegment. The contract:
 // malformed input is rejected with an error, never a panic or an OOM
 // pre-allocation; input that opens must iterate in strictly ascending
@@ -320,8 +335,14 @@ func FuzzSegmentDecode(f *testing.F) {
 	flip[len(flip)/2] ^= 0xff // corrupt block body
 	f.Add(flip)
 	metaFlip := append([]byte(nil), seed...)
-	metaFlip[len(metaFlip)-segTailLen+2] ^= 0xff // corrupt index length
+	metaFlip[len(metaFlip)-segTail2Len+2] ^= 0xff // corrupt index length
 	f.Add(metaFlip)
+	filterFlip := append([]byte(nil), seed...)
+	// First filter-region byte (the "BLM1" magic): must degrade to a
+	// filter-less open, not a rejection.
+	filterFlip[segFilterOff(f, seed)] ^= 0xff
+	f.Add(filterFlip)
+	f.Add(legacySegmentBytes(f, seed)) // format-1 tail, no filter region
 	f.Add([]byte{})
 	f.Add([]byte(segMagic))
 
@@ -340,13 +361,19 @@ func FuzzSegmentDecode(f *testing.F) {
 			return // rejected cleanly
 		}
 		defer sg.unref()
-		it := newSegIter(sg, nil, nil)
+		it := newSegIter(sg, nil, nil, nil)
 		n := 0
 		var prev []byte
 		for it.valid() {
 			k := it.key()
 			if prev != nil && string(prev) >= string(k) {
 				t.Fatalf("iteration keys not strictly ascending")
+			}
+			if sg.filter != nil && !sg.filter.mayContain(bloomHash(k)) {
+				// A decoded filter may be hostile garbage, but then it
+				// must have forged a valid CRC over its own bits; a
+				// present key it rejects is a false negative.
+				t.Fatalf("bloom false negative for a stored key")
 			}
 			prev = append(prev[:0], k...)
 			n++
@@ -360,7 +387,7 @@ func FuzzSegmentDecode(f *testing.F) {
 		}
 		if len(sg.blocks) > 0 {
 			for _, k := range [][]byte{sg.minKey, sg.maxKey} {
-				if _, ok, err := sg.get(k); err == nil && !ok {
+				if _, ok, err := sg.get(k, nil); err == nil && !ok {
 					t.Fatalf("zone-map key absent from segment")
 				}
 			}

@@ -65,14 +65,18 @@ func TestGenSeedCorpora(t *testing.T) {
 	segFlip := append([]byte(nil), seg...)
 	segFlip[len(segFlip)/2] ^= 0xff
 	segMeta := append([]byte(nil), seg...)
-	segMeta[len(segMeta)-segTailLen+2] ^= 0xff
+	segMeta[len(segMeta)-segTail2Len+2] ^= 0xff
+	segFilter := append([]byte(nil), seg...)
+	segFilter[segFilterOff(t, seg)] ^= 0xff
 	segSeeds := map[string][]byte{
-		"valid-segment": seg,
-		"torn-tail":     segTorn,
-		"bitflip-body":  segFlip,
-		"bitflip-meta":  segMeta,
-		"empty":         {},
-		"magic-only":    []byte(segMagic),
+		"valid-segment":  seg,
+		"torn-tail":      segTorn,
+		"bitflip-body":   segFlip,
+		"bitflip-meta":   segMeta,
+		"bitflip-filter": segFilter,
+		"legacy-f1":      legacySegmentBytes(t, seg),
+		"empty":          {},
+		"magic-only":     []byte(segMagic),
 	}
 	for name, data := range segSeeds {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)

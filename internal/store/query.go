@@ -81,6 +81,9 @@ type QueryStats struct {
 	Shards       int    // shards examined (1 on a single-shard engine)
 	Segments     int    // segment files consulted (scans and index-entry resolves)
 	BlocksPruned int    // segment blocks skipped via zone maps
+	BloomSkips   int    // segment probes rejected by a bloom filter (no IO)
+	CacheHits    int    // blocks served from the shared decoded-block cache
+	CacheMisses  int    // blocks read from disk (and cached for next time)
 }
 
 // Plan renders the access path for logs ("index(attribute)" or "scan").
@@ -156,6 +159,9 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 		stats.RowsExamined += st.RowsExamined
 		stats.Segments += st.Segments
 		stats.BlocksPruned += st.BlocksPruned
+		stats.BloomSkips += st.BloomSkips
+		stats.CacheHits += st.CacheHits
+		stats.CacheMisses += st.CacheMisses
 	}
 	stats.Shards = len(t.shards)
 	// Each part is already in the plan's order; merge restores the
@@ -177,11 +183,18 @@ func (t *Table) Query(q Query) ([]Row, QueryStats, error) {
 // run under the shard's read lock; the scan path captures a snapshot
 // under it and then iterates with no lock held, so a long scan never
 // blocks this shard's writers.
-func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats, error) {
+func (ts *tableShard) query(q Query, cis []int) (out []Row, stats QueryStats, err error) {
 	ts.mu.RLock()
 
-	var stats QueryStats
-	var out []Row
+	// rs accumulates the acceleration counters (bloom rejects, cache
+	// hits/misses, zone-map pruning) across whatever access path runs;
+	// fold them into the returned stats on every exit.
+	var rs readStats
+	defer func() {
+		stats.BloomSkips = rs.bloomSkips
+		stats.CacheHits = rs.cacheHits
+		stats.CacheMisses = rs.cacheMisses
+	}()
 	limit := q.Limit
 	done := func() bool { return limit > 0 && len(out) >= limit }
 	// filter tests every predicate except the ones the access path
@@ -213,17 +226,20 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats, error) {
 		stats.IndexProbes = 1
 		segReads := 0
 		if pv, ok := idx.Get(encodeKey(p.V)); ok {
-			for _, e := range pv.(*postingList).entries {
+			// Resolve the whole posting list in one batched segment walk
+			// (each touched block decoded once), then examine in order.
+			entries := pv.(*postingList).entries
+			rows, rerr := ts.resolveAll(entries, &rs)
+			if rerr != nil {
+				return nil, stats, rerr
+			}
+			for j, e := range entries {
 				stats.RowsExamined++
 				if e.row == nil {
 					segReads++
 				}
-				row, err := ts.resolve(e)
-				if err != nil {
-					return nil, stats, err
-				}
-				if filter(row, i) {
-					out = append(out, row)
+				if filter(rows[j], i) {
+					out = append(out, rows[j])
 					if done() {
 						break
 					}
@@ -248,18 +264,21 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats, error) {
 		segReads := 0
 		idx.AscendRange(lo, hi, func(_ []byte, v interface{}) bool {
 			stats.IndexProbes++
-			for _, e := range v.(*postingList).entries {
+			// One batched resolve per posting list: entries are pk-sorted,
+			// so the segment walk touches each block at most once.
+			entries := v.(*postingList).entries
+			rows, rerr := ts.resolveAll(entries, &rs)
+			if rerr != nil {
+				walkErr = rerr
+				return false
+			}
+			for j, e := range entries {
 				stats.RowsExamined++
 				if e.row == nil {
 					segReads++
 				}
-				row, err := ts.resolve(e)
-				if err != nil {
-					walkErr = err
-					return false
-				}
-				if filterExceptCol(q.Preds, cis, col, row) {
-					out = append(out, row)
+				if filterExceptCol(q.Preds, cis, col, rows[j]) {
+					out = append(out, rows[j])
 					if done() {
 						return false
 					}
@@ -285,8 +304,7 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats, error) {
 	defer ss.release()
 	stats.FullScan = true
 	stats.Segments = len(ss.segs)
-	var sstats snapStats
-	err := ss.iterate(lo, hi, &sstats, func(row Row) bool {
+	err = ss.iterate(lo, hi, &rs, func(row Row) bool {
 		stats.RowsExamined++
 		if filter(row, -1) {
 			out = append(out, row)
@@ -296,7 +314,7 @@ func (ts *tableShard) query(q Query, cis []int) ([]Row, QueryStats, error) {
 		}
 		return true
 	})
-	stats.BlocksPruned = sstats.blocksPruned
+	stats.BlocksPruned = rs.blocksPruned
 	if err != nil {
 		return nil, stats, err
 	}

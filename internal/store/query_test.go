@@ -332,10 +332,10 @@ func checkShardIndexConsistent(t *testing.T, ts *tableShard) {
 					t.Errorf("shard %d: index %s holds pk absent from live view", ts.shard.id, col)
 					continue
 				}
-				got, err := ts.resolve(e)
+				got, err := ts.resolveAll([]postingEntry{e}, nil)
 				if err != nil {
 					t.Errorf("shard %d: index %s entry resolve: %v", ts.shard.id, col, err)
-				} else if !rowsEqual(got, want) {
+				} else if !rowsEqual(got[0], want) {
 					t.Errorf("shard %d: index %s holds stale row for pk %v", ts.shard.id, col, want[pkc])
 				}
 			}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
@@ -23,8 +24,19 @@ import (
 //	block*                                    encoded rows, back to back
 //	index: per block {offset, len, rows, crc, minKey, maxKey}
 //	schema: opCreateTable payload (self-describing)
+//	filter: bloom region (see bloom.go), self-CRC'd  [format 2 only]
 //	uint32 indexLen | uint32 schemaLen
-//	uint32 CRC32(index+schema) | "MEDSEGF1"   20-byte fixed tail
+//	[uint32 filterLen]                        format 2 only
+//	uint32 CRC32(index+schema) | magic        fixed tail
+//
+// Two tail formats coexist. "MEDSEGF1" is the original 20-byte tail
+// with no filter region — every pre-bloom segment on disk. "MEDSEGF2"
+// is the 24-byte tail that adds filterLen and places the bloom region
+// between the schema and the tail. The loader dispatches on the magic,
+// so old segments stay readable forever and a new segment is simply an
+// old segment plus an optional, independently-checksummed filter: the
+// tail CRC still covers exactly index+schema, and a corrupt filter
+// region degrades to filter-absent reads instead of failing the open.
 //
 // Rows inside a block use the WAL row codec (encodeRow/decodeValues);
 // keys are re-derived from the schema's primary column, so nothing is
@@ -32,9 +44,11 @@ import (
 // shard whose WAL lost its create-table record to a crash can rebuild
 // the table from the segment alone.
 const (
-	segMagic     = "MEDSEG1\n"
-	segTailMagic = "MEDSEGF1"
-	segTailLen   = 8 + 4 + 4 + 4 // lens + crc + magic
+	segMagic      = "MEDSEG1\n"
+	segTailMagic  = "MEDSEGF1"
+	segTailMagic2 = "MEDSEGF2"
+	segTailLen    = 8 + 4 + 4 + 4     // lens + crc + magic
+	segTail2Len   = 8 + 4 + 4 + 4 + 4 // lens + filterLen + crc + magic
 
 	// segmentBlockRows is the target rows per block: small enough that
 	// a point read decodes little, large enough that the sparse index
@@ -57,6 +71,11 @@ type segBlock struct {
 	maxKey []byte
 }
 
+// segIDs hands out process-unique segment ids for block-cache keys; ids
+// are never reused, so a replacement segment can never alias cached
+// blocks of the run it superseded.
+var segIDs atomic.Uint64
+
 // segment is an open, immutable, sorted row file. Reads go through
 // ReadAt and are safe for any number of concurrent readers. The
 // refcount keeps the file open (and, once obsoleted by a newer
@@ -70,6 +89,10 @@ type segment struct {
 	minKey []byte // zone map over the whole file
 	maxKey []byte
 
+	id     uint64       // process-unique cache key prefix
+	filter *bloomFilter // nil: no filter persisted, or filter region corrupt
+	cache  *blockCache  // shared decoded-block cache; nil disables caching
+
 	refs     atomic.Int32 // owner (shard) + pinning snapshots
 	obsolete atomic.Bool  // superseded by a newer compaction: remove on last unref
 }
@@ -77,8 +100,9 @@ type segment struct {
 // ref pins the segment for a snapshot.
 func (sg *segment) ref() { sg.refs.Add(1) }
 
-// unref drops one pin; the last unref closes the file and, if the
-// segment was obsoleted by a newer compaction, removes it from disk.
+// unref drops one pin; the last unref closes the file, releases the
+// segment's cached blocks and, if the segment was obsoleted by a newer
+// compaction, removes it from disk.
 func (sg *segment) unref() {
 	if sg.refs.Add(-1) != 0 {
 		return
@@ -86,6 +110,9 @@ func (sg *segment) unref() {
 	if sg.f != nil {
 		sg.f.Close()
 		sg.f = nil
+	}
+	if sg.cache != nil {
+		sg.cache.dropSegment(sg.id)
 	}
 	if sg.obsolete.Load() {
 		os.Remove(sg.path)
@@ -111,7 +138,10 @@ func openSegment(path string) (*segment, error) {
 	return sg, nil
 }
 
-// loadSegment parses the footer and block index from an open file.
+// loadSegment parses the footer and block index from an open file. The
+// trailing 8-byte magic selects the tail format; the optional format-2
+// bloom filter is decoded best-effort (it carries its own CRC), so a
+// corrupt filter region costs the filter, never the segment.
 func loadSegment(path string, f *os.File) (*segment, error) {
 	st, err := f.Stat()
 	if err != nil {
@@ -128,20 +158,36 @@ func loadSegment(path string, f *os.File) (*segment, error) {
 	if string(head[:]) != segMagic {
 		return nil, ErrCorrupt
 	}
-	var tail [segTailLen]byte
-	if _, err := f.ReadAt(tail[:], size-segTailLen); err != nil {
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], size-8); err != nil {
 		return nil, err
 	}
-	if string(tail[12:20]) != segTailMagic {
+	tailLen := int64(segTailLen)
+	if string(magic[:]) == segTailMagic2 {
+		tailLen = segTail2Len
+	} else if string(magic[:]) != segTailMagic {
 		return nil, ErrCorrupt
+	}
+	if size < int64(len(segMagic))+tailLen {
+		return nil, ErrCorrupt
+	}
+	tail := make([]byte, tailLen)
+	if _, err := f.ReadAt(tail, size-tailLen); err != nil {
+		return nil, err
 	}
 	indexLen := int64(binary.BigEndian.Uint32(tail[0:4]))
 	schemaLen := int64(binary.BigEndian.Uint32(tail[4:8]))
-	wantCRC := binary.BigEndian.Uint32(tail[8:12])
-	if indexLen > segMaxBlockLen || schemaLen > segMaxBlockLen {
+	var filterLen int64
+	crcOff := 8
+	if tailLen == segTail2Len {
+		filterLen = int64(binary.BigEndian.Uint32(tail[8:12]))
+		crcOff = 12
+	}
+	wantCRC := binary.BigEndian.Uint32(tail[crcOff : crcOff+4])
+	if indexLen > segMaxBlockLen || schemaLen > segMaxBlockLen || filterLen > segMaxBlockLen {
 		return nil, ErrCorrupt
 	}
-	metaOff := size - segTailLen - indexLen - schemaLen
+	metaOff := size - tailLen - filterLen - indexLen - schemaLen
 	if metaOff < int64(len(segMagic)) {
 		return nil, ErrCorrupt
 	}
@@ -161,6 +207,13 @@ func loadSegment(path string, f *os.File) (*segment, error) {
 		return nil, err
 	}
 	sg := &segment{path: path, f: f, schema: schema, blocks: blocks, nRows: nRows}
+	sg.id = segIDs.Add(1)
+	if filterLen > 0 {
+		fbuf := make([]byte, filterLen)
+		if _, err := f.ReadAt(fbuf, metaOff+indexLen+schemaLen); err == nil {
+			sg.filter = decodeBloom(fbuf) // nil on any deviation: degrade
+		}
+	}
 	if len(blocks) > 0 {
 		sg.minKey = blocks[0].minKey
 		sg.maxKey = blocks[len(blocks)-1].maxKey
@@ -230,22 +283,60 @@ func decodeSegIndex(buf []byte, metaOff int64) ([]segBlock, int, error) {
 	return blocks, nRows, nil
 }
 
-// readBlock fetches and decodes one block's rows, verifying the CRC.
-// It returns the rows and their encoded primary keys in ascending
+// segReadBufPool recycles readBlockDisk's raw read buffer. Safe to
+// return to the pool immediately after decoding because decodeValues
+// copies string payloads out of the buffer — decoded rows never alias
+// it.
+var segReadBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 8192); return &b }}
+
+// readBlock returns one block's decoded rows and encoded primary keys,
+// consulting the shared cache first. A hit serves the immutable decoded
+// slices straight from memory; a miss pays disk + CRC + decode and
+// populates the cache for every future reader of this segment.
+func (sg *segment) readBlock(bi int, rs *readStats) ([]Row, [][]byte, error) {
+	if sg.cache != nil {
+		k := blockKey{seg: sg.id, bi: bi}
+		if rows, keys, ok := sg.cache.get(k); ok {
+			if rs != nil {
+				rs.cacheHits++
+			}
+			return rows, keys, nil
+		}
+		if rs != nil {
+			rs.cacheMisses++
+		}
+		rows, keys, err := sg.readBlockDisk(bi)
+		if err != nil {
+			return nil, nil, err
+		}
+		sg.cache.put(k, rows, keys, blockFootprint(sg.blocks[bi].length, len(rows)))
+		return rows, keys, nil
+	}
+	return sg.readBlockDisk(bi)
+}
+
+// readBlockDisk fetches and decodes one block's rows, verifying the
+// CRC. It returns the rows and their encoded primary keys in ascending
 // order.
-func (sg *segment) readBlock(bi int) ([]Row, [][]byte, error) {
+func (sg *segment) readBlockDisk(bi int) ([]Row, [][]byte, error) {
 	b := sg.blocks[bi]
-	buf := make([]byte, b.length)
-	if _, err := sg.f.ReadAt(buf, b.off); err != nil {
+	bp := segReadBufPool.Get().(*[]byte)
+	defer segReadBufPool.Put(bp)
+	if cap(*bp) < b.length {
+		*bp = make([]byte, b.length)
+	}
+	full := (*bp)[:b.length]
+	if _, err := sg.f.ReadAt(full, b.off); err != nil {
 		return nil, nil, err
 	}
-	if crc32.ChecksumIEEE(buf) != b.crc {
+	if crc32.ChecksumIEEE(full) != b.crc {
 		return nil, nil, fmt.Errorf("store: segment %s block %d: %w", filepath.Base(sg.path), bi, ErrCorrupt)
 	}
 	ncols := len(sg.schema.Columns)
 	rows := make([]Row, 0, b.rows)
 	keys := make([][]byte, 0, b.rows)
 	var prev []byte
+	buf := full
 	for i := 0; i < b.rows; i++ {
 		var row Row
 		var err error
@@ -270,11 +361,27 @@ func (sg *segment) readBlock(bi int) ([]Row, [][]byte, error) {
 	return rows, keys, nil
 }
 
+// noteBloomSkip records a probe the bloom filter answered without IO.
+func (sg *segment) noteBloomSkip(rs *readStats) {
+	if rs != nil {
+		rs.bloomSkips++
+	}
+	if sg.cache != nil {
+		sg.cache.bloomSkips.Add(1)
+	}
+}
+
 // get returns the row with the given primary key, using the zone maps
-// to reject misses without touching the file.
-func (sg *segment) get(key []byte) (Row, bool, error) {
+// and the bloom filter to reject misses without touching the file.
+func (sg *segment) get(key []byte, rs *readStats) (Row, bool, error) {
 	if len(sg.blocks) == 0 || bytes.Compare(key, sg.minKey) < 0 || bytes.Compare(key, sg.maxKey) > 0 {
 		return nil, false, nil
+	}
+	if sg.filter != nil {
+		if h1, h2 := bloomHash(key); !sg.filter.mayContain(h1, h2) {
+			sg.noteBloomSkip(rs)
+			return nil, false, nil
+		}
 	}
 	// First block whose maxKey >= key.
 	lo, hi := 0, len(sg.blocks)
@@ -289,7 +396,7 @@ func (sg *segment) get(key []byte) (Row, bool, error) {
 	if lo == len(sg.blocks) || bytes.Compare(sg.blocks[lo].minKey, key) > 0 {
 		return nil, false, nil
 	}
-	rows, keys, err := sg.readBlock(lo)
+	rows, keys, err := sg.readBlock(lo, rs)
 	if err != nil {
 		return nil, false, err
 	}
@@ -298,6 +405,60 @@ func (sg *segment) get(key []byte) (Row, bool, error) {
 		return nil, false, nil
 	}
 	return rows[i], true, nil
+}
+
+// getBatch resolves many primary keys against this segment in one
+// index walk. entries holds the posting list (pk-ascending); missing
+// holds the positions still unresolved. Each position either fills
+// out[pos] or survives into the returned remainder for an older
+// segment. Because both the pks and the block index are sorted, the
+// walk advances a single block cursor and decodes each touched block
+// exactly once — the whole point of batching.
+func (sg *segment) getBatch(entries []postingEntry, missing []int, out []Row, rs *readStats) ([]int, error) {
+	if len(sg.blocks) == 0 || len(missing) == 0 {
+		return missing, nil
+	}
+	rest := missing[:0]
+	bi := 0                    // first candidate block (monotone: pks ascend)
+	var rows []Row             // currently decoded block
+	var keys [][]byte
+	loaded := -1
+	for _, pos := range missing {
+		pk := entries[pos].pk
+		if cmpKeyStr(sg.minKey, pk) > 0 || cmpKeyStr(sg.maxKey, pk) < 0 {
+			rest = append(rest, pos)
+			continue
+		}
+		if sg.filter != nil {
+			if h1, h2 := bloomHashString(pk); !sg.filter.mayContain(h1, h2) {
+				sg.noteBloomSkip(rs)
+				rest = append(rest, pos)
+				continue
+			}
+		}
+		// Advance to the first block whose maxKey >= pk.
+		for bi < len(sg.blocks) && cmpKeyStr(sg.blocks[bi].maxKey, pk) < 0 {
+			bi++
+		}
+		if bi == len(sg.blocks) || cmpKeyStr(sg.blocks[bi].minKey, pk) > 0 {
+			rest = append(rest, pos)
+			continue
+		}
+		if loaded != bi {
+			var err error
+			rows, keys, err = sg.readBlock(bi, rs)
+			if err != nil {
+				return nil, err
+			}
+			loaded = bi
+		}
+		if i, found := searchKeysStr(keys, pk); found {
+			out[pos] = rows[i]
+		} else {
+			rest = append(rest, pos)
+		}
+	}
+	return rest, nil
 }
 
 // searchKeys returns the position of key in sorted keys and whether it
@@ -315,6 +476,45 @@ func searchKeys(keys [][]byte, key []byte) (int, bool) {
 	return lo, lo < len(keys) && bytes.Equal(keys[lo], key)
 }
 
+// cmpKeyStr is bytes.Compare between an encoded key and a posting pk
+// held as a string — a manual loop so the batch resolve path never
+// converts (and so never allocates).
+func cmpKeyStr(a []byte, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// searchKeysStr is searchKeys against a string pk.
+func searchKeysStr(keys [][]byte, key string) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpKeyStr(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && cmpKeyStr(keys[lo], key) == 0
+}
+
 // segIter streams a segment's rows in ascending key order, bounded to
 // [lo, hi) when the bounds are non-nil. Blocks whose zone map misses
 // the bounds are never read; pruned counts them for QueryStats.
@@ -326,13 +526,14 @@ type segIter struct {
 	keys   [][]byte
 	ri     int
 	pruned int
+	stats  *readStats // cache hit/miss accounting for loaded blocks
 	err    error
 }
 
 // newSegIter positions an iterator at the first row >= lo, counting
 // the blocks the zone map let it skip.
-func newSegIter(sg *segment, lo, hi []byte) *segIter {
-	it := &segIter{seg: sg, hi: hi}
+func newSegIter(sg *segment, lo, hi []byte, stats *readStats) *segIter {
+	it := &segIter{seg: sg, hi: hi, stats: stats}
 	// First block that can contain a key >= lo.
 	start := 0
 	if lo != nil {
@@ -375,7 +576,7 @@ func (it *segIter) loadBlock(lo []byte) {
 			it.rows, it.keys = nil, nil
 			return
 		}
-		rows, keys, err := it.seg.readBlock(it.bi)
+		rows, keys, err := it.seg.readBlock(it.bi, it.stats)
 		if err != nil {
 			it.err = err
 			it.rows, it.keys = nil, nil
@@ -426,6 +627,7 @@ type segmentWriter struct {
 	nRows  int
 	prev   []byte
 	blocks int
+	bloom  bloomBuilder // filter over every added key
 }
 
 // newSegmentWriter creates path (truncating any stale leftover) and
@@ -451,6 +653,7 @@ func (w *segmentWriter) add(row Row) error {
 		return fmt.Errorf("store: segment writer: rows out of order")
 	}
 	w.prev = key
+	w.bloom.add(key)
 	if w.rows == 0 {
 		w.minKey = key
 	}
@@ -511,11 +714,19 @@ func (w *segmentWriter) finish() (err error) {
 	if _, err = w.f.Write(meta); err != nil {
 		return err
 	}
-	var tail [segTailLen]byte
+	var filterBytes []byte
+	if bf := w.bloom.build(); bf != nil {
+		filterBytes = bf.encode()
+		if _, err = w.f.Write(filterBytes); err != nil {
+			return err
+		}
+	}
+	var tail [segTail2Len]byte
 	binary.BigEndian.PutUint32(tail[0:4], uint32(len(w.index)))
 	binary.BigEndian.PutUint32(tail[4:8], uint32(len(schemaBytes)))
-	binary.BigEndian.PutUint32(tail[8:12], crc32.ChecksumIEEE(meta))
-	copy(tail[12:20], segTailMagic)
+	binary.BigEndian.PutUint32(tail[8:12], uint32(len(filterBytes)))
+	binary.BigEndian.PutUint32(tail[12:16], crc32.ChecksumIEEE(meta))
+	copy(tail[16:24], segTailMagic2)
 	if _, err = w.f.Write(tail[:]); err != nil {
 		return err
 	}

@@ -52,7 +52,7 @@ func TestSegmentRoundTrip(t *testing.T) {
 	// Point gets: every present key, plus misses inside and outside the
 	// key range.
 	for _, pk := range []int64{1, 2, 255, 256, 257, 999, 1000} {
-		row, ok, err := sg.get(encodeKey(Int(pk)))
+		row, ok, err := sg.get(encodeKey(Int(pk)), nil)
 		if err != nil || !ok {
 			t.Fatalf("get(%d): ok=%v err=%v", pk, ok, err)
 		}
@@ -61,12 +61,12 @@ func TestSegmentRoundTrip(t *testing.T) {
 		}
 	}
 	for _, pk := range []int64{0, 1001, 5000} {
-		if _, ok, err := sg.get(encodeKey(Int(pk))); ok || err != nil {
+		if _, ok, err := sg.get(encodeKey(Int(pk)), nil); ok || err != nil {
 			t.Fatalf("get(%d): ok=%v err=%v, want miss", pk, ok, err)
 		}
 	}
 	// Full iteration order.
-	it := newSegIter(sg, nil, nil)
+	it := newSegIter(sg, nil, nil, nil)
 	prev := int64(0)
 	count := 0
 	for it.valid() {
@@ -81,7 +81,7 @@ func TestSegmentRoundTrip(t *testing.T) {
 		t.Fatalf("iterated %d rows, err %v", count, it.err)
 	}
 	// Bounded iteration prunes blocks outside [600, 700).
-	it = newSegIter(sg, encodeKey(Int(600)), encodeKey(Int(700)))
+	it = newSegIter(sg, encodeKey(Int(600)), encodeKey(Int(700)), nil)
 	count = 0
 	for it.valid() {
 		pk := it.row()[0].I
@@ -139,7 +139,7 @@ func TestSegmentRejectsCorruption(t *testing.T) {
 		if err == nil {
 			// A corrupt block body is only detected when the block is
 			// read; the open validates the footer alone.
-			it := newSegIter(sg, nil, nil)
+			it := newSegIter(sg, nil, nil, nil)
 			for it.valid() {
 				it.next()
 			}
@@ -836,5 +836,21 @@ func TestSegmentErrorsLeakNoFDs(t *testing.T) {
 	testHookSegmentFinish = nil
 	if err := db.Compact(); err != nil {
 		t.Fatalf("compaction after clearing finish hook failed: %v", err)
+	}
+
+	// Block cache holds decoded rows, never descriptors, and drops each
+	// segment's entries with its last pin: populate it, then close —
+	// nothing may remain.
+	if _, err := tblA.Get(Int(8888)); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.BlockCacheStats(); cs.Entries == 0 {
+		t.Fatalf("segment read populated no cache entries: %+v", cs)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.BlockCacheStats(); cs.Entries != 0 || cs.Bytes != 0 {
+		t.Errorf("cache retained entries past close: %+v", cs)
 	}
 }

@@ -29,6 +29,7 @@ type Shard struct {
 	segLost bool // segment state was unreadable; recovered from WAL alone
 	gen     uint64
 	tables  map[string]*tableShard
+	cache   *blockCache // engine-shared decoded-block cache (may be nil)
 
 	// pendingSegs holds manifest segments between open and the replay of
 	// their tables' create records; leftovers (a WAL whose create record
@@ -54,7 +55,7 @@ type Shard struct {
 // (reported via RecoveredWithLoss); on replay failure the log handle
 // and every opened segment are closed before returning, so an engine
 // that fails mid-open leaks no descriptors.
-func openShard(id int, path string) (*Shard, error) {
+func openShard(id int, path string, cache *blockCache) (*Shard, error) {
 	// A crashed compaction can leave its truncated-WAL temp beside the
 	// log. It holds nothing the committed state doesn't (schema/index
 	// records plus residue the old WAL also carries), so it is swept
@@ -64,6 +65,13 @@ func openShard(id int, path string) (*Shard, error) {
 	segs, gen, segLost, err := loadShardSegments(segsDirFor(path))
 	if err != nil {
 		return nil, err
+	}
+	// Attach the shared cache before replay: liveGet during replay (and
+	// every read after) goes through the cached block path.
+	for _, pt := range segs {
+		for _, sg := range pt.segs {
+			sg.cache = cache
+		}
 	}
 	l, err := openWAL(path)
 	if err != nil {
@@ -76,7 +84,7 @@ func openShard(id int, path string) (*Shard, error) {
 	}
 	sh := &Shard{
 		id: id, log: l, path: path, gen: gen, segLost: segLost,
-		tables: make(map[string]*tableShard), pendingSegs: segs,
+		tables: make(map[string]*tableShard), pendingSegs: segs, cache: cache,
 	}
 	dropped, err := l.replay(sh.applyLogRecord)
 	if err != nil {

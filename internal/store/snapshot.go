@@ -117,10 +117,17 @@ func (s *Snapshot) Seq() uint64 {
 	return max
 }
 
-// snapStats accumulates read-path observability during iteration.
-type snapStats struct {
+// readStats accumulates read-path observability: segment/zone-map
+// accounting during iteration plus the acceleration counters (bloom
+// rejects and block-cache hits/misses) threaded through every segment
+// read. A nil *readStats is accepted everywhere and means "don't
+// count".
+type readStats struct {
 	segments     int // segment files consulted
 	blocksPruned int // blocks skipped via zone maps
+	bloomSkips   int // segment probes rejected by a bloom filter
+	cacheHits    int // blocks served from the decoded-block cache
+	cacheMisses  int // blocks that paid disk + CRC + decode
 }
 
 // Scan streams every live row in ascending primary-key order without
@@ -139,7 +146,7 @@ func (s *Snapshot) ScanRange(lo, hi Value, fn func(Row) bool) error {
 // shard's merged stream is itself merged k-way across shards (shards
 // partition the key space by hash, so cross-shard order still needs
 // the comparison; within a shard, newest-wins resolves duplicates).
-func (s *Snapshot) scan(lo, hi []byte, stats *snapStats, fn func(Row) bool) error {
+func (s *Snapshot) scan(lo, hi []byte, stats *readStats, fn func(Row) bool) error {
 	if len(s.shards) == 1 {
 		return s.shards[0].iterate(lo, hi, stats, fn)
 	}
@@ -179,7 +186,7 @@ func (s *Snapshot) scan(lo, hi []byte, stats *snapStats, fn func(Row) bool) erro
 // iterate merges one shard's memtable capture with its segment
 // iterators, newest wins on duplicate keys, tombstones suppressing
 // older versions. stats may be nil.
-func (ss *shardSnap) iterate(lo, hi []byte, stats *snapStats, fn func(Row) bool) error {
+func (ss *shardSnap) iterate(lo, hi []byte, stats *readStats, fn func(Row) bool) error {
 	// Source 0 is the memtable capture (highest precedence); sources
 	// 1..n are segments newest → oldest.
 	mem := ss.mem
@@ -193,7 +200,7 @@ func (ss *shardSnap) iterate(lo, hi []byte, stats *snapStats, fn func(Row) bool)
 		if stats != nil {
 			stats.segments++
 		}
-		iters = append(iters, newSegIter(sg, lo, hi))
+		iters = append(iters, newSegIter(sg, lo, hi, stats))
 	}
 	defer func() {
 		if stats != nil {

@@ -97,10 +97,11 @@ func (t *Table) shardFor(key []byte) *tableShard {
 	return t.shards[shardIndex(key, len(t.shards))]
 }
 
-// segGet searches the shard's segments newest-first for key.
-func (ts *tableShard) segGet(key []byte) (Row, bool, error) {
+// segGet searches the shard's segments newest-first for key. rs (may
+// be nil) accumulates bloom/cache accounting.
+func (ts *tableShard) segGet(key []byte, rs *readStats) (Row, bool, error) {
 	for i := len(ts.segs) - 1; i >= 0; i-- {
-		row, ok, err := ts.segs[i].get(key)
+		row, ok, err := ts.segs[i].get(key, rs)
 		if err != nil {
 			return nil, false, err
 		}
@@ -121,7 +122,7 @@ func (ts *tableShard) liveGet(key []byte) (Row, bool, error) {
 		}
 		return nil, false, nil // tombstone
 	}
-	return ts.segGet(key)
+	return ts.segGet(key, nil)
 }
 
 // segsMightHave reports whether key falls inside any segment's zone
@@ -492,33 +493,44 @@ func (pl *postingList) find(pk string) (int, bool) {
 	return i, i < len(pl.entries) && pl.entries[i].pk == pk
 }
 
-// resolve returns an entry's row, reading the segments for by-reference
-// entries. Callers hold at least the shard's read lock.
-func (ts *tableShard) resolve(e postingEntry) (Row, error) {
-	if e.row != nil {
-		return e.row, nil
+// resolveAll resolves a pk-sorted posting slice into rows, position for
+// position. Inline entries cost nothing; by-reference entries are
+// batch-resolved against the segment stack newest-first — each segment
+// gets one sorted walk over the still-missing pks (getBatch), so a
+// block shared by many entries is read and decoded once per query
+// instead of once per row. Callers hold at least the shard's read
+// lock. rs may be nil.
+func (ts *tableShard) resolveAll(entries []postingEntry, rs *readStats) ([]Row, error) {
+	out := make([]Row, len(entries))
+	var missing []int
+	for i, e := range entries {
+		if e.row != nil {
+			out[i] = e.row
+		} else {
+			missing = append(missing, i)
+		}
 	}
-	row, ok, err := ts.segGet([]byte(e.pk))
-	if err != nil {
-		return nil, err
+	for i := len(ts.segs) - 1; i >= 0 && len(missing) > 0; i-- {
+		var err error
+		missing, err = ts.segs[i].getBatch(entries, missing, out, rs)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if !ok {
+	if len(missing) > 0 {
 		return nil, fmt.Errorf("store: index entry references missing segment row (%w)", ErrCorrupt)
 	}
-	return row, nil
+	return out, nil
 }
 
 // appendResolved appends the posting rows (already pk-sorted) to out,
 // resolving by-reference entries from the segments.
-func (ts *tableShard) appendResolved(pl *postingList, out []Row) ([]Row, error) {
-	for _, e := range pl.entries {
-		row, err := ts.resolve(e)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, row)
+func (ts *tableShard) appendResolved(pl *postingList, out []Row, rs *readStats) ([]Row, error) {
+	rows, err := ts.resolveAll(pl.entries, rs)
+	if err != nil {
+		return out, err
 	}
-	return out, nil
+	return append(out, rows...), nil
 }
 
 func indexAdd(idx *btree, sk, pk []byte, row Row) {
@@ -587,7 +599,7 @@ func (ts *tableShard) lookup(col string, v Value) ([]Row, error) {
 		return nil, nil
 	}
 	pl := pv.(*postingList)
-	return ts.appendResolved(pl, make([]Row, 0, len(pl.entries)))
+	return ts.resolveAll(pl.entries, nil)
 }
 
 // kwayMerge merges per-shard result slices that are each already

@@ -100,7 +100,7 @@ func (ts *tableShard) lookupRange(col string, lo, hi Value) ([]Row, error) {
 	var out []Row
 	var walkErr error
 	idx.AscendRange(encodeKey(lo), encodeKey(hi), func(_ []byte, v interface{}) bool {
-		out, walkErr = ts.appendResolved(v.(*postingList), out)
+		out, walkErr = ts.appendResolved(v.(*postingList), out, nil)
 		return walkErr == nil
 	})
 	if walkErr != nil {
@@ -124,6 +124,9 @@ type Stats struct {
 	// is per shard and covers every table on it, so these are engine-
 	// wide numbers surfaced here for one-stop monitoring).
 	Compaction CompactionStats
+	// Cache snapshots the engine-wide decoded-block cache (shared by
+	// every shard and table; surfaced here for one-stop monitoring).
+	Cache CacheStats
 }
 
 // Stats returns the table's live-row count and segment count (summed
@@ -151,5 +154,8 @@ func (t *Table) Stats() Stats {
 	}
 	ts.mu.RUnlock()
 	sortKeys(s.IndexNames)
+	if ts.shard != nil {
+		s.Cache = ts.shard.cache.stats()
+	}
 	return s
 }
