@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/records"
+	"repro/internal/textproc"
+)
+
+// The classification benchmarks pin the backend tradeoff the pluggable
+// layer exists to offer. BenchmarkTrain* measures the model-fitting
+// cost on examples whose views are already memoized — the shape of the
+// cross-validation harness, which re-trains fifty times over the same
+// analyzed corpus — so the ratio isolates entropy recursion against
+// sparse hashed sums. BenchmarkClassify* measures single-record
+// prediction end-to-end from raw text with a fresh document per
+// iteration (the daemon's per-request shape), where the ID3 path pays
+// POS tagging plus link-grammar parsing for its feature view and the
+// vector path tokenizes only.
+
+// smokingExamples builds the smoking training set with both views
+// forced, so the Train benchmarks time the backend and not the (shared,
+// memoized) feature extraction.
+func smokingExamples(b *testing.B) []classify.Example {
+	b.Helper()
+	exs := core.SmokingField().Examples(corpus(b, 0))
+	for _, e := range exs {
+		e.Features()
+		e.Tokens()
+	}
+	return exs
+}
+
+// BenchmarkTrainID3 is the paper's tree induction: feature-universe
+// scan plus information-gain recursion.
+func BenchmarkTrainID3(b *testing.B) {
+	exs := smokingExamples(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classify.ID3{}.Train(exs)
+	}
+}
+
+// BenchmarkTrainVector is the same training set through the vector
+// backend: hashed sparse sums and IDF-weighted centroids. The
+// acceptance bar for the backend is >=5x faster than BenchmarkTrainID3.
+func BenchmarkTrainVector(b *testing.B) {
+	exs := smokingExamples(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classify.NewVector().Train(exs)
+	}
+}
+
+// classifyBench measures single-record prediction from raw text with a
+// fresh document per iteration.
+func classifyBench(b *testing.B, backend classify.Backend) {
+	recs := corpus(b, 0)
+	f := core.SmokingField()
+	if backend != nil {
+		f = f.WithBackend(backend)
+	}
+	c := core.TrainCategorical(f, recs)
+	var rec records.Record
+	for _, r := range recs {
+		if r.Gold.Smoking != "" {
+			rec = r
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ClassifyDoc(textproc.Analyze(rec.Text))
+	}
+}
+
+func BenchmarkClassifyID3(b *testing.B) { classifyBench(b, nil) }
+
+func BenchmarkClassifyVector(b *testing.B) { classifyBench(b, classify.NewVector()) }

@@ -158,7 +158,7 @@ func BenchmarkE4BinaryFields(b *testing.B) {
 	var res eval.E4Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res = eval.RunE4(recs, 2005)
+		res = eval.RunE4(recs, 2005, nil)
 	}
 	for _, row := range res.Rows {
 		switch row.Attr {

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	evaltab [-exp all|E1|E2|E3|E4|E5|F1|A1–A7] [-n 50] [-seed 2005]
+//	evaltab [-exp all|E1|E2|E3|E4|E5|F1|A1–A8] [-n 50] [-seed 2005]
+//	        [-backend id3|gini|vector]
+//
+// -backend selects the classification backend for the categorical
+// experiments (E3, E4); A8 always compares every backend side by side.
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/classify"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/linkgram"
@@ -33,12 +39,20 @@ func main() {
 // run parses flags and writes the requested experiment tables to out.
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("evaltab", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment id: all, E1–E5, F1, A1–A7")
+	exp := fs.String("exp", "all", "experiment id: all, E1–E5, F1, A1–A8")
 	n := fs.Int("n", 50, "corpus size")
 	seed := fs.Int64("seed", 2005, "corpus seed")
+	backendName := fs.String("backend", "id3", "classification backend for E3/E4: id3 | gini | vector")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if err := cliutil.OneOf("-backend", *backendName, classify.Names()...); err != nil {
+		return err
+	}
+	backend, err := classify.New(*backendName)
+	if err != nil {
+		return err
 	}
 
 	opts := records.DefaultGenOptions()
@@ -60,11 +74,11 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, eval.RunE2(recs, ont, true))
 			fmt.Fprintln(out, "(the paper's proposed improvement: \"introducing synonyms\")")
 		case "E3":
-			res := eval.RunE3(recs, *seed)
+			res := eval.RunE3With(recs, *seed, backend)
 			fmt.Fprint(out, res)
 			fmt.Fprintln(out, "paper: average precision (recall) 92.2%, features per tree 4-7")
 		case "E4":
-			fmt.Fprintln(out, eval.RunE4(recs, *seed))
+			fmt.Fprintln(out, eval.RunE4(recs, *seed, backend))
 			fmt.Fprintln(out, "(the paper completed only smoking among the twelve categorical attributes)")
 		case "E5":
 			ont := ontology.MustNew(ontology.Options{})
@@ -105,6 +119,12 @@ func run(args []string, out io.Writer) error {
 			ont := ontology.MustNew(ontology.Options{})
 			defer ont.Close()
 			fmt.Fprintln(out, eval.RunA7(recs, ont))
+		case "A8":
+			res, err := eval.RunA8(recs, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -112,7 +132,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if strings.EqualFold(*exp, "all") {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "A1", "A2", "A3", "A4", "A5", "A6", "A7"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "F1", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"} {
 			fmt.Fprintf(out, "================ %s ================\n", id)
 			if err := runOne(id); err != nil {
 				return err

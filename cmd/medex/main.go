@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/classify"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/records"
@@ -66,6 +67,7 @@ func runExtract(args []string) error {
 	strategyName := fs.String("strategy", "link-grammar", "number association strategy: link-grammar | pattern-only | proximity-only")
 	synonyms := fs.Bool("synonyms", true, "resolve synonyms when assigning predefined terms")
 	trainSmoking := fs.Bool("train-smoking", true, "train the smoking classifier on the corpus gold labels")
+	backendName := fs.String("backend", "id3", "classification backend for the smoking classifier: id3 | gini | vector")
 	verbose := fs.Bool("v", false, "print every extracted attribute")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "store shard count (1 = single-file layout, compatible with old databases)")
@@ -83,6 +85,7 @@ func runExtract(args []string) error {
 	if err := cliutil.FirstErr(
 		cliutil.Shards("-shards", *shards),
 		cliutil.NonNegative("-workers", *workers),
+		cliutil.OneOf("-backend", *backendName, classify.Names()...),
 		cliutil.ExistingDir("-corpus", *corpusDir),
 		dbCheck(),
 	); err != nil {
@@ -92,6 +95,10 @@ func runExtract(args []string) error {
 	strategy, err := parseStrategy(*strategyName)
 	if err != nil {
 		return err
+	}
+	backend, err := classify.New(*backendName)
+	if err != nil {
+		return fmt.Errorf("extract: %w", err)
 	}
 	recs, err := records.ReadCorpus(*corpusDir)
 	if err != nil {
@@ -103,7 +110,7 @@ func runExtract(args []string) error {
 		return err
 	}
 	if *trainSmoking {
-		sys.TrainSmoking(recs)
+		sys.TrainSmokingWith(recs, backend)
 	}
 
 	var db *store.DB
@@ -164,6 +171,9 @@ func runExtract(args []string) error {
 		}
 	}
 	fmt.Printf("processed %d records, persisted %d attribute rows", processed, rows)
+	if *trainSmoking {
+		fmt.Printf(" (smoking backend %s, %s)", backend.Name(), backend.Params())
+	}
 	if *dbPath != "" {
 		fmt.Printf(" to %s", *dbPath)
 		if *compact {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/classify"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/store"
@@ -21,6 +22,13 @@ type config struct {
 	Shards   int
 	Strategy core.Strategy
 	Workers  int
+
+	// Backend names the classification backend for the smoking
+	// classifier; TrainCorpus is the labeled corpus it trains on at
+	// startup ("" = no classifier, ingested records carry no smoking
+	// attribute).
+	Backend     string
+	TrainCorpus string
 
 	QueueDepth int
 	MaxGroup   int
@@ -53,6 +61,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	fs.IntVar(&cfg.Shards, "shards", 0, "store shard count for a fresh database (0 = auto-detect an existing layout, single shard when fresh)")
 	fs.StringVar(&strategyName, "strategy", "link-grammar", "number association strategy: link-grammar | pattern-only | proximity-only")
 	fs.IntVar(&cfg.Workers, "workers", 0, "extraction workers per ingest request (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.Backend, "backend", "id3", "classification backend for the smoking classifier: id3 | gini | vector")
+	fs.StringVar(&cfg.TrainCorpus, "train-corpus", "", "labeled corpus directory (gencorpus layout) to train the smoking classifier on at startup (empty = no classifier)")
 	fs.IntVar(&cfg.QueueDepth, "queue", 64, "bounded ingest queue depth; a full queue rejects with 429")
 	fs.IntVar(&cfg.MaxGroup, "max-group", 16, "max batches folded into one group commit (one fsync)")
 	fs.Int64Var(&cfg.MaxBody, "max-body", 8<<20, "max ingest request body in bytes (larger requests get 413)")
@@ -101,10 +111,18 @@ func (c config) validate() error {
 		}
 		return nil
 	}
+	trainCorpus := func() error {
+		if c.TrainCorpus == "" {
+			return nil // no startup training
+		}
+		return cliutil.ExistingDir("-train-corpus", c.TrainCorpus)
+	}
 	if err := cliutil.FirstErr(
 		cliutil.DBPath("-db", c.DBPath),
 		shardCheck(),
 		cliutil.NonNegative("-workers", c.Workers),
+		cliutil.OneOf("-backend", c.Backend, classify.Names()...),
+		trainCorpus(),
 		cliutil.Positive("-queue", c.QueueDepth),
 		cliutil.Positive("-max-group", c.MaxGroup),
 		intBody(),

@@ -39,8 +39,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/ontology"
+	"repro/internal/records"
 	"repro/internal/store"
 )
 
@@ -79,6 +81,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		db.Close()
 		return err
+	}
+	if cfg.TrainCorpus != "" {
+		backend, err := classify.New(cfg.Backend)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		recs, err := records.ReadCorpus(cfg.TrainCorpus)
+		if err != nil {
+			db.Close()
+			return fmt.Errorf("reading -train-corpus: %w", err)
+		}
+		sys.TrainSmokingWith(recs, backend)
+		log.Printf("trained smoking classifier on %d records (backend %s, %s)",
+			len(recs), backend.Name(), backend.Params())
 	}
 	// The ontology only powers concept-term synonym resolution; run
 	// without it rather than refuse to start.

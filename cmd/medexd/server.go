@@ -383,12 +383,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	ist := s.ing.Stats()
 	cst := s.db.CompactionStats()
+	classifier := map[string]any{"backend": s.cfg.Backend, "trained": false}
+	if s.sys.Smoking != nil {
+		classifier["backend"] = s.sys.Smoking.Backend()
+		classifier["trained"] = true
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime":   time.Since(s.started).Round(time.Millisecond).String(),
-		"draining": s.draining.Load(),
-		"health":   healthFrom(s.db.Health()),
-		"shards":   s.db.Shards(),
-		"logBytes": s.db.LogSize(),
+		"uptime":     time.Since(s.started).Round(time.Millisecond).String(),
+		"draining":   s.draining.Load(),
+		"classifier": classifier,
+		"health":     healthFrom(s.db.Health()),
+		"shards":     s.db.Shards(),
+		"logBytes":   s.db.LogSize(),
 		"table": map[string]any{
 			"rows":         tstats.Rows,
 			"segments":     tstats.Segments,

@@ -1,4 +1,4 @@
-package id3
+package classify
 
 import (
 	"fmt"
@@ -8,15 +8,18 @@ import (
 	"strings"
 )
 
-// CVResult aggregates a repeated k-fold cross validation, the paper's
-// evaluation protocol for the smoking classifier: "We run a five-fold
-// cross validation ten times, and each time the dataset is randomly
-// shuffled."
+// CVResult aggregates a repeated k-fold cross validation of one backend,
+// the paper's evaluation protocol ("We run a five-fold cross validation
+// ten times, and each time the dataset is randomly shuffled"). The fold
+// protocol, shuffle stream and aggregation are identical to
+// id3.CrossValidate, so the ID3 backend reproduces its numbers
+// bit-for-bit — the parity tests pin that equivalence.
 type CVResult struct {
+	Backend     string  // backend name the result belongs to
 	Accuracy    float64 // micro-averaged: correct / total over all folds and rounds
 	StdDev      float64 // standard deviation of per-round accuracies
-	MinFeatures int     // fewest features used by any fold's tree
-	MaxFeatures int     // most features used by any fold's tree
+	MinFeatures int     // smallest Model.Size() of any fold's model
+	MaxFeatures int     // largest Model.Size() of any fold's model
 	PerClass    map[string]ClassMetrics
 	// Confusion[actual][predicted] counts over all rounds.
 	Confusion map[string]map[string]int
@@ -31,22 +34,15 @@ type ClassMetrics struct {
 	Support   int
 }
 
-// CrossValidate runs `rounds` repetitions of k-fold cross validation with
-// per-round shuffles driven by seed. Micro-averaged accuracy equals both
-// micro precision and micro recall, the number the paper reports as
-// "average precision (recall) is 92.2%".
-func CrossValidate(examples []Example, k, rounds int, seed int64) CVResult {
-	return crossValidate(examples, k, rounds, seed, Train)
-}
-
-// crossValidate is the shared fold loop, parameterized by the training
-// function so split criteria can be compared (see CrossValidateWith).
-func crossValidate(examples []Example, k, rounds int, seed int64, trainFn func([]Example) *Tree) CVResult {
+// CrossValidate runs `rounds` repetitions of k-fold cross validation of
+// one backend with per-round shuffles driven by seed.
+func CrossValidate(b Backend, examples []Example, k, rounds int, seed int64) CVResult {
 	if k < 2 || len(examples) < k {
-		return CVResult{}
+		return CVResult{Backend: b.Name()}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	res := CVResult{
+		Backend:     b.Name(),
 		MinFeatures: 1 << 30,
 		PerClass:    map[string]ClassMetrics{},
 		Confusion:   map[string]map[string]int{},
@@ -75,15 +71,15 @@ func crossValidate(examples []Example, k, rounds int, seed int64, trainFn func([
 					train = append(train, examples[ei])
 				}
 			}
-			tree := trainFn(train)
-			if fc := tree.FeatureCount(); fc < res.MinFeatures {
-				res.MinFeatures = fc
+			model := b.Train(train)
+			if sz := model.Size(); sz < res.MinFeatures {
+				res.MinFeatures = sz
 			}
-			if fc := tree.FeatureCount(); fc > res.MaxFeatures {
-				res.MaxFeatures = fc
+			if sz := model.Size(); sz > res.MaxFeatures {
+				res.MaxFeatures = sz
 			}
 			for _, e := range test {
-				pred := tree.Classify(e.Features)
+				pred := model.Predict(e.Instance)
 				total++
 				roundTotal++
 				predN[pred]++
@@ -166,8 +162,8 @@ func (r CVResult) ConfusionString() string {
 // String renders the CV result as a short report.
 func (r CVResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d-fold CV × %d rounds: accuracy (micro P=R) %.1f%% (±%.1f across rounds), features per tree %d–%d\n",
-		r.Folds, r.Rounds, 100*r.Accuracy, 100*r.StdDev, r.MinFeatures, r.MaxFeatures)
+	fmt.Fprintf(&b, "%d-fold CV × %d rounds (%s): accuracy (micro P=R) %.1f%% (±%.1f across rounds), model size %d–%d\n",
+		r.Folds, r.Rounds, r.Backend, 100*r.Accuracy, 100*r.StdDev, r.MinFeatures, r.MaxFeatures)
 	classes := make([]string, 0, len(r.PerClass))
 	for c := range r.PerClass {
 		classes = append(classes, c)

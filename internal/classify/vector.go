@@ -1,0 +1,334 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// The vector backend classifies the way log-line classifiers do: embed
+// each text as a sparse vector, compare against one pre-computed vector
+// per label, take the best cosine. There is no model download and no
+// external dependency — the "embedding" is a feature-hashed bag of
+// words, adjacent-word bigrams, and down-weighted character n-grams
+// over the already-tokenized section, IDF-weighted so the section's
+// label-independent boilerplate carries little weight, and the
+// per-label vectors are centroids of the training examples. The
+// tradeoff against the ID3 trees is deliberate: training is a single
+// sparse pass of hashed sums (no feature-universe scan, no entropy
+// recursion), and prediction needs only the token view — no POS
+// tagging, no link-grammar parse — so it runs far higher throughput at
+// some accuracy cost on attributes whose cues are word-order sensitive.
+
+// DefaultVectorDims is the hashed vector dimensionality. 4096 buckets
+// keep collisions rare for clinical-vocabulary sizes while the dense
+// centroid stays cache-resident (16 KiB as float32).
+const DefaultVectorDims = 4096
+
+// DefaultVectorCharN is the character n-gram size folded in beside
+// whole words. Trigrams make the backend robust to inflection and
+// dictation typos ("smoker"/"smokes"/"smoking" share most grams).
+const DefaultVectorCharN = 3
+
+// charWeight scales character n-gram counts relative to word and bigram
+// counts. Grams are kept for typo/inflection robustness but carry far
+// less label signal than whole words on clinical text (every smoking
+// class shares the "smok" stem), so they get a fractional vote.
+const charWeight = 0.125
+
+// Vector is the hashed bag-of-words + char-n-gram cosine-similarity
+// backend.
+type Vector struct {
+	// Dims is the hashed dimensionality (<=0 selects DefaultVectorDims).
+	Dims int
+	// CharN is the character n-gram size; 0 disables n-grams and uses
+	// whole-word features only.
+	CharN int
+}
+
+// NewVector returns the vector backend with default parameters.
+func NewVector() Vector { return Vector{Dims: DefaultVectorDims, CharN: DefaultVectorCharN} }
+
+// Name implements Backend.
+func (Vector) Name() string { return "vector" }
+
+// Params implements Backend.
+func (v Vector) Params() string { return fmt.Sprintf("dims=%d char=%d", v.dims(), v.CharN) }
+
+func (v Vector) dims() int {
+	if v.Dims <= 0 {
+		return DefaultVectorDims
+	}
+	return v.Dims
+}
+
+// Train implements Backend in two sparse passes over one reused dense
+// scratch buffer. The first pass hashes every example into a sparse
+// (index, count) list and tallies per-dimension document frequency; the
+// second applies IDF weights, normalizes, and sums into one centroid
+// per label. IDF is what makes centroids work on clinical sections: the
+// section text mixes label-independent sentences (the alcohol and drug
+// lines sit beside the smoking line in every Social History) and IDF
+// pushes that shared vocabulary toward zero weight, so the cosine is
+// decided by the tokens that actually vary with the label.
+func (v Vector) Train(examples []Example) Model {
+	dims := v.dims()
+	type sparse struct {
+		idx   []uint32
+		val   []float32
+		class string
+	}
+	raws := make([]sparse, 0, len(examples))
+	buf := make([]float32, 2*dims) // df and the reused dense scratch, one allocation
+	df, scratch := buf[:dims], buf[dims:]
+	var touchedBuf []uint32
+	local := map[string]*tokenFeats{} // per-call token cache: no lock on repeats
+	for _, e := range examples {
+		touched := v.scatter(e.Tokens(), scratch, touchedBuf[:0], local)
+		touchedBuf = touched
+		if len(touched) == 0 {
+			continue
+		}
+		sp := sparse{idx: make([]uint32, len(touched)), val: make([]float32, len(touched)), class: e.Class}
+		for k, j := range touched {
+			sp.idx[k] = j
+			sp.val[k] = scratch[j]
+			scratch[j] = 0 // leave the scratch clean for the next example
+			df[j]++
+		}
+		raws = append(raws, sp)
+	}
+	n := float64(len(raws))
+	idf := make([]float32, dims)
+	unseen := float32(math.Log(1+n) + 1) // df = 0: the maximum weight
+	for j := range idf {
+		if df[j] > 0 {
+			idf[j] = float32(math.Log((1+n)/(1+float64(df[j]))) + 1)
+		} else {
+			idf[j] = unseen
+		}
+	}
+	sums := map[string][]float32{}
+	for _, r := range raws {
+		var norm float64
+		for k, j := range r.idx {
+			r.val[k] *= idf[j]
+			norm += float64(r.val[k]) * float64(r.val[k])
+		}
+		if norm == 0 {
+			continue
+		}
+		inv := float32(1 / math.Sqrt(norm))
+		c := sums[r.class]
+		if c == nil {
+			c = make([]float32, dims)
+			sums[r.class] = c
+		}
+		for k, j := range r.idx {
+			c[j] += r.val[k] * inv
+		}
+	}
+	labels := make([]string, 0, len(sums))
+	for l := range sums {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	centroids := make([][]float32, len(labels))
+	for i, l := range labels {
+		normalize(sums[l])
+		centroids[i] = sums[l]
+	}
+	return &vectorModel{cfg: v, labels: labels, centroids: centroids, idf: idf}
+}
+
+// vectorModel holds one normalized centroid per label plus the training
+// IDF weights; labels sorted so prediction ties break deterministically
+// (first label wins).
+type vectorModel struct {
+	cfg       Vector
+	labels    []string
+	centroids [][]float32
+	idf       []float32
+}
+
+func (m *vectorModel) Backend() string { return "vector" }
+
+// Predict embeds the instance's tokens and returns the label of the
+// nearest centroid by cosine. The query vector is left unnormalized —
+// scaling the query scales every dot product equally, so the argmax is
+// the same — and the dot products walk only the touched dimensions. No
+// tokens, or an untrained model, yields "".
+func (m *vectorModel) Predict(in Instance) string {
+	if len(m.labels) == 0 {
+		return ""
+	}
+	vec := make([]float32, m.cfg.dims())
+	touched := m.cfg.scatter(in.Tokens(), vec, nil, nil)
+	if len(touched) == 0 {
+		return ""
+	}
+	for _, j := range touched {
+		vec[j] *= m.idf[j]
+	}
+	best, bestDot := "", float32(math.Inf(-1))
+	for i, c := range m.centroids {
+		var dot float32
+		for _, j := range touched {
+			dot += vec[j] * c[j]
+		}
+		if dot > bestDot {
+			best, bestDot = m.labels[i], dot
+		}
+	}
+	return best
+}
+
+// Size implements Model: the number of dimensions used by at least one
+// centroid, the vector analogue of a tree's feature count.
+func (m *vectorModel) Size() int {
+	used := 0
+	for j := 0; j < m.cfg.dims(); j++ {
+		for _, c := range m.centroids {
+			if c[j] != 0 {
+				used++
+				break
+			}
+		}
+	}
+	return used
+}
+
+// tokenFeats caches the raw (un-modded) feature hashes of one token, so
+// repeated tokens — and every token after the first Train call — cost a
+// cache hit instead of re-hashing the word, its bigram prefix, and each
+// of its character n-grams.
+type tokenFeats struct {
+	word   uint32   // FNV of "w:<tok>"
+	prefix uint32   // FNV of "b:<tok> ", continued with the next token
+	grams  []uint32 // FNV of each "c:<gram>"
+}
+
+// featCache maps featKey → *tokenFeats. Hashes are pure functions of
+// the token, so a process-global cache is safe; maxFeatCache bounds it
+// so adversarial vocabulary cannot grow it without limit (overflowing
+// tokens are simply hashed each time). A read-mostly RWMutex map beats
+// sync.Map here: the hot path is Load-only and the plain map avoids
+// interface-key hashing.
+var (
+	featCacheMu sync.RWMutex
+	featCache   = map[featKey]*tokenFeats{}
+)
+
+const maxFeatCache = 1 << 16
+
+type featKey struct {
+	charN int
+	tok   string
+}
+
+// feats returns the cached feature hashes of one token, computing and
+// (size permitting) caching them on first sight.
+func (v Vector) feats(tok string) *tokenFeats {
+	key := featKey{v.CharN, tok}
+	featCacheMu.RLock()
+	got, ok := featCache[key]
+	featCacheMu.RUnlock()
+	if ok {
+		return got
+	}
+	tf := &tokenFeats{
+		word:   hashFeature("w:", tok),
+		prefix: hashContinue(hashFeature("b:", tok), " "),
+	}
+	if v.CharN > 1 {
+		// Pad the token so prefixes and suffixes get their own grams:
+		// "^smokes$" → "^sm", "smo", …, "es$".
+		padded := "^" + tok + "$"
+		n := v.CharN
+		for i := 0; i+n <= len(padded); i++ {
+			tf.grams = append(tf.grams, hashFeature("c:", padded[i:i+n]))
+		}
+	}
+	featCacheMu.Lock()
+	if len(featCache) < maxFeatCache {
+		featCache[key] = tf
+	}
+	featCacheMu.Unlock()
+	return tf
+}
+
+// scatter hashes a token stream — whole words, adjacent-word bigrams,
+// and character n-grams — into the dense vector, returning the touched
+// indices appended to `touched` (each exactly once). Bigrams carry the
+// word-order cues the bag loses ("never smoked" vs "smoked for 15
+// years" share the unigram). An empty token stream touches nothing.
+// `local`, when non-nil, is a caller-owned unlocked token cache layered
+// over the global one (Train passes a per-call map so repeated tokens
+// skip the cache lock).
+func (v Vector) scatter(tokens []string, vec []float32, touched []uint32, local map[string]*tokenFeats) []uint32 {
+	dims := uint32(v.dims())
+	var prevPrefix uint32
+	for i, tok := range tokens {
+		tf := local[tok]
+		if tf == nil {
+			tf = v.feats(tok)
+			if local != nil {
+				local[tok] = tf
+			}
+		}
+		j := tf.word % dims
+		if vec[j] == 0 {
+			touched = append(touched, j)
+		}
+		vec[j]++
+		if i > 0 {
+			j = hashContinue(prevPrefix, tok) % dims
+			if vec[j] == 0 {
+				touched = append(touched, j)
+			}
+			vec[j]++
+		}
+		prevPrefix = tf.prefix
+		for _, g := range tf.grams {
+			j = g % dims
+			if vec[j] == 0 {
+				touched = append(touched, j)
+			}
+			vec[j] += charWeight
+		}
+	}
+	return touched
+}
+
+// hashFeature is FNV-1a 32 over a namespaced feature string, without
+// building the concatenation.
+func hashFeature(ns, s string) uint32 {
+	const offset32 = 2166136261
+	return hashContinue(hashContinue(offset32, ns), s)
+}
+
+// hashContinue folds more bytes into a running FNV-1a 32 state.
+func hashContinue(h uint32, s string) uint32 {
+	const prime32 = 16777619
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * prime32
+	}
+	return h
+}
+
+// normalize scales a vector to unit L2 norm in place (zero vectors are
+// left unchanged).
+func normalize(vec []float32) {
+	var sum float64
+	for _, x := range vec {
+		sum += float64(x) * float64(x)
+	}
+	if sum == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(sum))
+	for i := range vec {
+		vec[i] *= inv
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 )
 
@@ -53,6 +54,17 @@ func PositiveDuration(flagName string, d time.Duration) error {
 		return fmt.Errorf("%s must be a positive duration (got %s)", flagName, d)
 	}
 	return nil
+}
+
+// OneOf validates an enumerated string flag (backend and strategy
+// selectors) against its allowed values.
+func OneOf(flagName, val string, allowed ...string) error {
+	for _, a := range allowed {
+		if val == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s must be one of %s (got %q)", flagName, strings.Join(allowed, "|"), val)
 }
 
 // DBPath validates a database path flag: the path's parent directory

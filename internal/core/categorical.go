@@ -1,21 +1,44 @@
 package core
 
 import (
+	"repro/internal/classify"
 	"repro/internal/id3"
 	"repro/internal/records"
 	"repro/internal/textproc"
 )
 
 // CategoricalField specifies one categorical attribute: where its
-// evidence lives and how features are extracted.
+// evidence lives, how features are extracted, and which classification
+// backend labels it.
 type CategoricalField struct {
 	Attr    string
 	Section string
 	Options id3.FeatureOptions
+	// Labels enumerates the attribute's value set, in canonical order.
+	// The labeled coverage corpus is validated against this list: every
+	// label must be represented.
+	Labels []string
+	// Backend is the classification backend; nil selects
+	// classify.Default() (the paper's ID3 information-gain trees).
+	Backend classify.Backend
 	// Gold selects the gold label from a record ("" = not present; such
 	// records are excluded, as the paper excludes the five subjects
 	// without smoking information).
 	Gold func(records.Gold) string
+}
+
+// WithBackend returns a copy of the field using the given backend.
+func (f CategoricalField) WithBackend(b classify.Backend) CategoricalField {
+	f.Backend = b
+	return f
+}
+
+// backend resolves the field's backend, defaulting to ID3.
+func (f CategoricalField) backend() classify.Backend {
+	if f.Backend == nil {
+		return classify.Default()
+	}
+	return f.Backend
 }
 
 // SmokingField is the paper's evaluated categorical attribute with its
@@ -26,6 +49,7 @@ func SmokingField() CategoricalField {
 		Attr:    "smoking",
 		Section: "Social History",
 		Options: id3.DefaultOptions(),
+		Labels:  []string{records.SmokingNever, records.SmokingFormer, records.SmokingCurrent},
 		Gold:    func(g records.Gold) string { return g.Smoking },
 	}
 }
@@ -42,6 +66,7 @@ func AlcoholField(numericFeatures bool) CategoricalField {
 		Attr:    "alcohol",
 		Section: "Social History",
 		Options: opts,
+		Labels:  []string{records.AlcoholNever, records.AlcoholSocial, records.AlcoholLight, records.AlcoholHeavy},
 		Gold:    func(g records.Gold) string { return g.Alcohol },
 	}
 }
@@ -53,6 +78,7 @@ func FamilyBCField() CategoricalField {
 		Attr:    "family breast cancer",
 		Section: "Family History",
 		Options: id3.DefaultOptions(),
+		Labels:  []string{records.FamilyBCPositive, records.FamilyBCNegative},
 		Gold:    func(g records.Gold) string { return g.FamilyBC },
 	}
 }
@@ -63,6 +89,7 @@ func DrugUseField() CategoricalField {
 		Attr:    "drug use",
 		Section: "Social History",
 		Options: id3.DefaultOptions(),
+		Labels:  []string{records.DrugUseNone, records.DrugUsePositive},
 		Gold:    func(g records.Gold) string { return g.DrugUse },
 	}
 }
@@ -73,7 +100,20 @@ func ShapeField() CategoricalField {
 		Attr:    "shape",
 		Section: "Physical examination",
 		Options: id3.DefaultOptions(),
+		Labels:  []string{records.ShapeThin, records.ShapeNormal, records.ShapeOverweight, records.ShapeObese},
 		Gold:    func(g records.Gold) string { return g.Shape },
+	}
+}
+
+// CategoricalFields lists the system's categorical attributes in
+// canonical order (alcohol with the numeric threshold features on).
+func CategoricalFields() []CategoricalField {
+	return []CategoricalField{
+		SmokingField(),
+		AlcoholField(true),
+		ShapeField(),
+		FamilyBCField(),
+		DrugUseField(),
 	}
 }
 
@@ -96,17 +136,53 @@ func (f CategoricalField) Features(doc *textproc.Document) map[string]bool {
 	return map[string]bool{}
 }
 
-// Examples converts labeled records into ID3 training examples, skipping
-// records whose gold label is absent. Each record is analyzed once.
-func (f CategoricalField) Examples(recs []records.Record) []id3.Example {
-	var out []id3.Example
+// Instance builds the field's classification view of an analyzed record:
+// a lazy Boolean feature map (tree backends; POS-tags and parses the
+// section through its memoized Document slots) and a lazy token stream
+// (the vector backend; tokenization only). Each view is computed at most
+// once however many models consult the instance, so two backends
+// classifying the same shared Document still tag and parse each sentence
+// exactly once between them.
+func (f CategoricalField) Instance(doc *textproc.Document) classify.Instance {
+	sec, ok := doc.Section(f.Section)
+	if !ok {
+		return classify.Instance{}
+	}
+	opts := f.Options
+	return classify.NewInstance(
+		func() map[string]bool { return id3.FeaturesFromSection(sec, opts) },
+		func() []string { return sectionTokens(sec) },
+	)
+}
+
+// sectionTokens is the vector backend's view: the lower-cased word and
+// number tokens of the section, from the Document's memoized sentence
+// analysis — no tagging, no parsing.
+func sectionTokens(sec *textproc.DocSection) []string {
+	var toks []string
+	for _, sent := range sec.Sentences() {
+		for _, t := range sent.Tokens {
+			if t.Kind == textproc.Word || t.Kind == textproc.Number {
+				toks = append(toks, t.Lower())
+			}
+		}
+	}
+	return toks
+}
+
+// Examples converts labeled records into training examples, skipping
+// records whose gold label is absent. Each record is analyzed once; the
+// per-example views are lazy, so an all-vector training run never pays
+// for tagging or parsing.
+func (f CategoricalField) Examples(recs []records.Record) []classify.Example {
+	var out []classify.Example
 	for _, r := range recs {
 		label := f.Gold(r.Gold)
 		if label == "" {
 			continue
 		}
-		out = append(out, id3.Example{
-			Features: f.Features(textproc.Analyze(r.Text)),
+		out = append(out, classify.Example{
+			Instance: f.Instance(textproc.Analyze(r.Text)),
 			Class:    label,
 		})
 	}
@@ -116,14 +192,17 @@ func (f CategoricalField) Examples(recs []records.Record) []id3.Example {
 // CategoricalClassifier is a trained classifier for one field.
 type CategoricalClassifier struct {
 	Field CategoricalField
-	Tree  *id3.Tree
+	Model classify.Model
 }
 
-// TrainCategorical trains an ID3 classifier for the field on labeled
-// records.
+// TrainCategorical trains the field's backend on labeled records.
 func TrainCategorical(f CategoricalField, recs []records.Record) *CategoricalClassifier {
-	return &CategoricalClassifier{Field: f, Tree: id3.Train(f.Examples(recs))}
+	return &CategoricalClassifier{Field: f, Model: f.backend().Train(f.Examples(recs))}
 }
+
+// Backend names the backend that trained the classifier (for stats and
+// plan lines).
+func (c *CategoricalClassifier) Backend() string { return c.Model.Backend() }
 
 // Classify labels one record's text. It analyzes the text and delegates
 // to ClassifyDoc.
@@ -133,11 +212,11 @@ func (c *CategoricalClassifier) Classify(recordText string) string {
 
 // ClassifyDoc labels one analyzed record, reusing its sentence analysis.
 func (c *CategoricalClassifier) ClassifyDoc(doc *textproc.Document) string {
-	return c.Tree.Classify(c.Field.Features(doc))
+	return c.Model.Predict(c.Field.Instance(doc))
 }
 
-// CrossValidate runs the paper's protocol on the field: k-fold CV
-// repeated `rounds` times with shuffles.
-func (f CategoricalField) CrossValidate(recs []records.Record, k, rounds int, seed int64) id3.CVResult {
-	return id3.CrossValidate(f.Examples(recs), k, rounds, seed)
+// CrossValidate runs the paper's protocol on the field with its backend:
+// k-fold CV repeated `rounds` times with shuffles.
+func (f CategoricalField) CrossValidate(recs []records.Record, k, rounds int, seed int64) classify.CVResult {
+	return classify.CrossValidate(f.backend(), f.Examples(recs), k, rounds, seed)
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/records"
+)
+
+// minCoveragePerLabel is the floor the embedded coverage corpus must
+// meet: every label of every categorical field represented at least
+// twice, so both backends always have more than one example per
+// centroid/leaf to train on.
+const minCoveragePerLabel = 2
+
+// TestCoverageCorpusRepresentsEveryLabel fails the moment a label is
+// added to a CategoricalField without at least two representative
+// records in the embedded coverage corpus — the failure names the field
+// and label so the fix is obvious.
+func TestCoverageCorpusRepresentsEveryLabel(t *testing.T) {
+	recs := records.CoverageCorpus()
+	if len(recs) == 0 {
+		t.Fatal("coverage corpus is empty")
+	}
+	for _, f := range CategoricalFields() {
+		counts := map[string]int{}
+		for _, r := range recs {
+			if label := f.Gold(r.Gold); label != "" {
+				counts[label]++
+			}
+		}
+		known := map[string]bool{}
+		for _, label := range f.Labels {
+			known[label] = true
+			if counts[label] < minCoveragePerLabel {
+				t.Errorf("field %q label %q has %d coverage records, want >= %d",
+					f.Attr, label, counts[label], minCoveragePerLabel)
+			}
+		}
+		for label := range counts {
+			if !known[label] {
+				t.Errorf("coverage corpus uses label %q unknown to field %q (labels %v)",
+					label, f.Attr, f.Labels)
+			}
+		}
+	}
+}
+
+// TestCoverageCorpusClassifiable asserts every coverage record actually
+// reaches the classifiers: its section is found and both the feature
+// and token views are non-empty, and each backend family trains a model
+// that covers every label.
+func TestCoverageCorpusClassifiable(t *testing.T) {
+	recs := records.CoverageCorpus()
+	for _, f := range CategoricalFields() {
+		labeled := 0
+		for _, r := range recs {
+			if f.Gold(r.Gold) != "" {
+				labeled++
+			}
+		}
+		exs := f.Examples(recs)
+		if len(exs) != labeled {
+			t.Errorf("field %q: %d examples from %d labeled records (a section failed to resolve)",
+				f.Attr, len(exs), labeled)
+		}
+		for i, e := range exs {
+			if len(e.Features()) == 0 {
+				t.Errorf("field %q example %d has an empty feature view", f.Attr, i)
+			}
+			if len(e.Tokens()) == 0 {
+				t.Errorf("field %q example %d has an empty token view", f.Attr, i)
+			}
+		}
+	}
+}

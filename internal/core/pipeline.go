@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/classify"
 	"repro/internal/ontology"
 	"repro/internal/records"
 	"repro/internal/store"
@@ -99,10 +100,17 @@ func (s *System) ProcessDoc(doc *textproc.Document) Extraction {
 	return ex
 }
 
-// TrainSmoking fits the smoking classifier on labeled records; subsequent
-// Process calls fill Extraction.Smoking.
+// TrainSmoking fits the smoking classifier on labeled records with the
+// default (ID3) backend; subsequent Process calls fill
+// Extraction.Smoking.
 func (s *System) TrainSmoking(recs []records.Record) {
-	s.Smoking = TrainCategorical(SmokingField(), recs)
+	s.TrainSmokingWith(recs, nil)
+}
+
+// TrainSmokingWith fits the smoking classifier with the given
+// classification backend (nil = the ID3 default).
+func (s *System) TrainSmokingWith(recs []records.Record, b classify.Backend) {
+	s.Smoking = TrainCategorical(SmokingField().WithBackend(b), recs)
 }
 
 // ResultTable names the persisted extracted-information table, so

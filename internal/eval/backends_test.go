@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/records"
+)
+
+// TestBackendsSideBySideOnSmoking is the acceptance gate for the vector
+// backend: cross-validated on the same smoking corpus with the same
+// protocol, it must land within ten accuracy points of the ID3 trees
+// while ID3 itself stays pinned to its golden value (the golden tests
+// cover the exact number; here we only need it present and sane).
+func TestBackendsSideBySideOnSmoking(t *testing.T) {
+	recs := records.Generate(records.DefaultGenOptions())
+	field := core.SmokingField()
+	results := map[string]classify.CVResult{}
+	for _, name := range classify.Names() {
+		b, err := classify.New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		res := field.WithBackend(b).CrossValidate(recs, 5, 10, 7)
+		if res.Backend != name {
+			t.Errorf("result for %q tagged %q", name, res.Backend)
+		}
+		if res.Accuracy <= 0 || res.Accuracy > 1 {
+			t.Errorf("%s accuracy %v out of range", name, res.Accuracy)
+		}
+		results[name] = res
+		t.Logf("%s: accuracy %.4f (±%.4f), model size %d–%d",
+			name, res.Accuracy, res.StdDev, res.MinFeatures, res.MaxFeatures)
+	}
+	if gap := results["id3"].Accuracy - results["vector"].Accuracy; gap > 0.10 {
+		t.Errorf("vector accuracy %.4f is %.1f points below ID3's %.4f, want within 10",
+			results["vector"].Accuracy, 100*gap, results["id3"].Accuracy)
+	}
+}
+
+// TestRunA8 covers the side-by-side eval report: one row per registered
+// backend, in registry order, rendered with every backend named.
+func TestRunA8(t *testing.T) {
+	recs := records.Generate(records.DefaultGenOptions())
+	res, err := RunA8(recs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(classify.Names()) {
+		t.Fatalf("A8 has %d rows, want one per backend (%d)", len(res.Rows), len(classify.Names()))
+	}
+	for i, name := range classify.Names() {
+		if res.Rows[i].Backend != name {
+			t.Errorf("A8 row %d is %q, want %q", i, res.Rows[i].Backend, name)
+		}
+	}
+	out := res.String()
+	for _, name := range classify.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("A8 report misses backend %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRunE3WithBackendIndependence pins that the optional backend
+// parameter defaults to ID3: RunE3 and RunE3With(ID3) are the same run.
+func TestRunE3WithBackendIndependence(t *testing.T) {
+	recs := records.Generate(records.DefaultGenOptions())
+	plain := RunE3(recs, 7)
+	explicit := RunE3With(recs, 7, classify.ID3{})
+	if plain.Accuracy != explicit.Accuracy || plain.StdDev != explicit.StdDev {
+		t.Errorf("RunE3 (%v±%v) != RunE3With(ID3) (%v±%v)",
+			plain.Accuracy, plain.StdDev, explicit.Accuracy, explicit.StdDev)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/id3"
 	"repro/internal/ontology"
@@ -104,9 +105,16 @@ func (r E2Result) String() string {
 }
 
 // RunE3 reproduces the smoking cross-validation (§5): 5-fold CV repeated
-// ten times with shuffles.
-func RunE3(recs []records.Record, seed int64) id3.CVResult {
-	return core.SmokingField().CrossValidate(recs, 5, 10, seed)
+// ten times with shuffles, on the paper's ID3 backend.
+func RunE3(recs []records.Record, seed int64) classify.CVResult {
+	return RunE3With(recs, seed, nil)
+}
+
+// RunE3With is RunE3 on a selectable classification backend (nil = the
+// ID3 default), so the experiment can compare backends under the
+// identical protocol.
+func RunE3With(recs []records.Record, seed int64, b classify.Backend) classify.CVResult {
+	return core.SmokingField().WithBackend(b).CrossValidate(recs, 5, 10, seed)
 }
 
 // A1Result compares association strategies on multi-feature sentences.
@@ -321,8 +329,9 @@ type E4Row struct {
 	MaxFeat  int
 }
 
-// RunE4 cross-validates the categorical fields the paper did not finish.
-func RunE4(recs []records.Record, seed int64) E4Result {
+// RunE4 cross-validates the categorical fields the paper did not finish,
+// on a selectable backend (nil = the ID3 default).
+func RunE4(recs []records.Record, seed int64, b classify.Backend) E4Result {
 	var res E4Result
 	for _, f := range []core.CategoricalField{
 		core.FamilyBCField(),
@@ -330,7 +339,7 @@ func RunE4(recs []records.Record, seed int64) E4Result {
 		core.ShapeField(),
 		core.AlcoholField(true),
 	} {
-		cv := f.CrossValidate(recs, 5, 10, seed)
+		cv := f.WithBackend(b).CrossValidate(recs, 5, 10, seed)
 		res.Rows = append(res.Rows, E4Row{
 			Attr:     f.Attr,
 			Classes:  len(cv.PerClass),
@@ -373,17 +382,17 @@ func RunE5(recs []records.Record, ont *ontology.Ontology) PR {
 // testing the paper's claim that "the ID3 decision tree is supposed to
 // use less features than other decision tree algorithms".
 type A6Result struct {
-	ID3  id3.CVResult
-	Gini id3.CVResult
+	ID3  classify.CVResult
+	Gini classify.CVResult
 }
 
 // RunA6 cross-validates the smoking field with information gain (ID3)
-// and Gini impurity (CART-style) splits.
+// and Gini impurity (CART-style) splits, through the backend interface.
 func RunA6(recs []records.Record, seed int64) A6Result {
 	exs := core.SmokingField().Examples(recs)
 	return A6Result{
-		ID3:  id3.CrossValidateWith(exs, 5, 10, seed, id3.Train),
-		Gini: id3.CrossValidateWith(exs, 5, 10, seed, id3.TrainGini),
+		ID3:  classify.CrossValidate(classify.ID3{}, exs, 5, 10, seed),
+		Gini: classify.CrossValidate(classify.Gini{}, exs, 5, 10, seed),
 	}
 }
 
@@ -427,6 +436,41 @@ func (r A7Result) String() string {
 	return fmt.Sprintf("A7 negation filtering (synonym resolution on)\n%-22s other-medical %s | other-surgical %s\n%-22s other-medical %s | other-surgical %s\n",
 		"no negation handling", r.Baseline.OtherMedical, r.Baseline.OtherSurgical,
 		"NegEx-style filter", r.Filtered.OtherMedical, r.Filtered.OtherSurgical)
+}
+
+// A8Result compares every registered classification backend on the
+// smoking attribute under the identical CV protocol: the
+// accuracy/capacity side of the accuracy/throughput dial the pluggable
+// backend layer exposes (the throughput side is benchmarked in
+// BenchmarkClassify*/BenchmarkTrain*).
+type A8Result struct {
+	Rows []classify.CVResult
+}
+
+// RunA8 cross-validates each registered backend on the smoking field.
+func RunA8(recs []records.Record, seed int64) (A8Result, error) {
+	field := core.SmokingField()
+	var res A8Result
+	for _, name := range classify.Names() {
+		b, err := classify.New(name)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, field.WithBackend(b).CrossValidate(recs, 5, 10, seed))
+	}
+	return res, nil
+}
+
+// String renders the backend comparison.
+func (r A8Result) String() string {
+	var b strings.Builder
+	b.WriteString("A8 classification backends (smoking)\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s %12s\n", "Backend", "Accuracy", "±", "Model size")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %9.1f%% %7.1f%% %8d–%d\n",
+			row.Backend, 100*row.Accuracy, 100*row.StdDev, row.MinFeatures, row.MaxFeatures)
+	}
+	return b.String()
 }
 
 // SortedAttrs returns map keys in stable order (helper for reports).

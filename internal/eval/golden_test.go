@@ -84,3 +84,42 @@ func TestGoldenE3Smoking(t *testing.T) {
 		t.Errorf("E3 protocol changed: %d rounds × %d folds", res.Rounds, res.Folds)
 	}
 }
+
+// TestGoldenE3Confusion pins E3's full confusion matrix, cell by cell,
+// to the values the pre-refactor id3.CrossValidate produced. This is
+// the backend-parity smoke: the ID3 path now runs through the
+// classify.Backend interface, and any behavioral drift in the adapter —
+// a changed shuffle stream, a differently-built feature map, a fold
+// split off by one — moves at least one cell here.
+func TestGoldenE3Confusion(t *testing.T) {
+	res := RunE3(goldenCorpus(), 7)
+	want := map[string]map[string]int{
+		"current": {"current": 107, "former": 3, "never": 10},
+		"former":  {"current": 10, "former": 40},
+		"never":   {"never": 280},
+	}
+	for actual, row := range want {
+		for pred, n := range row {
+			if got := res.Confusion[actual][pred]; got != n {
+				t.Errorf("E3 confusion[%s][%s] = %d, want %d", actual, pred, got, n)
+			}
+		}
+	}
+	total, wantTotal := 0, 0
+	for _, row := range res.Confusion {
+		for _, n := range row {
+			total += n
+		}
+	}
+	for _, row := range want {
+		for _, n := range row {
+			wantTotal += n
+		}
+	}
+	if total != wantTotal {
+		t.Errorf("E3 confusion total = %d, want %d (a new cell appeared)", total, wantTotal)
+	}
+	if res.Backend != "id3" {
+		t.Errorf("E3 ran backend %q, want id3", res.Backend)
+	}
+}

@@ -1,0 +1,28 @@
+package records
+
+import (
+	_ "embed"
+	"encoding/json"
+)
+
+// coverage_corpus.json is a small hand-labeled corpus in which every
+// label of every categorical attribute appears at least twice, with
+// phrasing drawn from across the generator's dictation-style pools. It
+// exists so classifier-facing tests can assert label coverage directly
+// instead of hoping the random corpus happens to hit a rare label: a
+// coverage test over this corpus fails the moment a new label is added
+// to a field without representative training text.
+//
+//go:embed coverage_corpus.json
+var coverageCorpusJSON []byte
+
+// CoverageCorpus returns the embedded labeled coverage corpus. The data
+// is compiled into the binary, so failure to decode is a build defect,
+// not a runtime condition — it panics rather than returning an error.
+func CoverageCorpus() []Record {
+	var recs []Record
+	if err := json.Unmarshal(coverageCorpusJSON, &recs); err != nil {
+		panic("records: embedded coverage_corpus.json is invalid: " + err.Error())
+	}
+	return recs
+}
